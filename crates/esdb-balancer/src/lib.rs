@@ -1,0 +1,23 @@
+//! ESDB's load balancer (paper §3.2 "Load balancer", §4.1, Algorithm 1).
+//!
+//! The balancer watches per-tenant write throughput (and, at initialization,
+//! per-tenant storage), detects hotspots, computes a new secondary-hashing
+//! offset `s = L(k1)` for each hot tenant, and emits *rule proposals* that
+//! the consensus layer commits into every coordinator's
+//! [`esdb_routing::RuleList`].
+//!
+//! * [`monitor::WorkloadMonitor`] — the "Monitor" box of Fig. 3: sliding
+//!   per-period counters of tenant/shard/node write throughput.
+//! * [`offset::OffsetPolicy`] — `ComputeOffsetSize` and `CheckHotSpot` from
+//!   Algorithm 1; offsets are powers of two (§4.2 "we choose s among
+//!   exponents of 2 ... to limit the number of secondary hashing rules").
+//! * [`balancer::LoadBalancer`] — Algorithm 1 itself: the storage-driven
+//!   initialization phase and the throughput-driven runtime phase.
+
+pub mod balancer;
+pub mod monitor;
+pub mod offset;
+
+pub use balancer::{BalancerConfig, LoadBalancer, RuleProposal};
+pub use monitor::{PeriodReport, WorkloadMonitor};
+pub use offset::OffsetPolicy;

@@ -1,0 +1,158 @@
+//! The workload monitor (the "Monitor" component on the control layer of
+//! Fig. 3): collects per-tenant, per-shard and per-node write counters over
+//! a reporting period, and per-tenant storage totals.
+
+use esdb_common::fastmap::{fast_map, FastMap};
+use esdb_common::{NodeId, ShardId, TenantId};
+
+/// A snapshot of one reporting period.
+#[derive(Debug, Clone, Default)]
+pub struct PeriodReport {
+    /// Writes per tenant during the period.
+    pub per_tenant: FastMap<TenantId, u64>,
+    /// Writes per shard during the period.
+    pub per_shard: FastMap<ShardId, u64>,
+    /// Writes per node during the period.
+    pub per_node: FastMap<NodeId, u64>,
+    /// Total writes during the period.
+    pub total: u64,
+}
+
+impl PeriodReport {
+    /// Throughput proportion `r = T(k) / ΣT` of one tenant (Algorithm 1
+    /// line 15). Returns 0 when the period saw no writes.
+    pub fn tenant_proportion(&self, k: TenantId) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.per_tenant.get(&k).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Tenants ranked by write count, descending.
+    pub fn top_tenants(&self, limit: usize) -> Vec<(TenantId, u64)> {
+        let mut v: Vec<(TenantId, u64)> = self.per_tenant.iter().map(|(k, c)| (*k, *c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(limit);
+        v
+    }
+}
+
+/// Accumulates write events and storage sizes; `take_period` harvests and
+/// resets the periodic counters while storage totals persist.
+#[derive(Debug, Default)]
+pub struct WorkloadMonitor {
+    current: PeriodReport,
+    /// Cumulative storage bytes per tenant (Algorithm 1 line 5, `S(K)`).
+    storage: FastMap<TenantId, u64>,
+    storage_total: u64,
+}
+
+impl WorkloadMonitor {
+    /// Empty monitor.
+    pub fn new() -> Self {
+        WorkloadMonitor {
+            current: PeriodReport::default(),
+            storage: fast_map(),
+            storage_total: 0,
+        }
+    }
+
+    /// Records one write routed to `shard` on `node`, adding `bytes` to the
+    /// tenant's storage.
+    pub fn record_write(&mut self, tenant: TenantId, shard: ShardId, node: NodeId, bytes: u64) {
+        *self.current.per_tenant.entry(tenant).or_insert(0) += 1;
+        *self.current.per_shard.entry(shard).or_insert(0) += 1;
+        *self.current.per_node.entry(node).or_insert(0) += 1;
+        self.current.total += 1;
+        *self.storage.entry(tenant).or_insert(0) += bytes;
+        self.storage_total += bytes;
+    }
+
+    /// Harvests the current period's counters, resetting them for the next
+    /// period (Algorithm 1 line 13: "collect periodic write throughput").
+    pub fn take_period(&mut self) -> PeriodReport {
+        std::mem::take(&mut self.current)
+    }
+
+    /// Read-only view of the running period.
+    pub fn current(&self) -> &PeriodReport {
+        &self.current
+    }
+
+    /// Storage proportion `r = S(k) / ΣS` (Algorithm 1 line 7).
+    pub fn storage_proportion(&self, k: TenantId) -> f64 {
+        if self.storage_total == 0 {
+            return 0.0;
+        }
+        *self.storage.get(&k).unwrap_or(&0) as f64 / self.storage_total as f64
+    }
+
+    /// All tenants with recorded storage.
+    pub fn storage_tenants(&self) -> impl Iterator<Item = (TenantId, u64)> + '_ {
+        self.storage.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Total storage bytes.
+    pub fn storage_total(&self) -> u64 {
+        self.storage_total
+    }
+
+    /// Bulk-loads a storage snapshot (used to seed the initialization phase
+    /// from an existing cluster's state).
+    pub fn load_storage(&mut self, sizes: impl IntoIterator<Item = (TenantId, u64)>) {
+        for (k, b) in sizes {
+            *self.storage.entry(k).or_insert(0) += b;
+            self.storage_total += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_harvests_periods() {
+        let mut m = WorkloadMonitor::new();
+        m.record_write(TenantId(1), ShardId(0), NodeId(0), 100);
+        m.record_write(TenantId(1), ShardId(1), NodeId(0), 100);
+        m.record_write(TenantId(2), ShardId(2), NodeId(1), 50);
+        let p = m.take_period();
+        assert_eq!(p.total, 3);
+        assert_eq!(p.per_tenant[&TenantId(1)], 2);
+        assert_eq!(p.per_node[&NodeId(0)], 2);
+        assert!((p.tenant_proportion(TenantId(1)) - 2.0 / 3.0).abs() < 1e-12);
+        // Period counters reset, storage persists.
+        assert_eq!(m.current().total, 0);
+        assert!((m.storage_proportion(TenantId(1)) - 200.0 / 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_tenants_ranked() {
+        let mut m = WorkloadMonitor::new();
+        for _ in 0..5 {
+            m.record_write(TenantId(7), ShardId(0), NodeId(0), 1);
+        }
+        for _ in 0..2 {
+            m.record_write(TenantId(8), ShardId(0), NodeId(0), 1);
+        }
+        m.record_write(TenantId(9), ShardId(0), NodeId(0), 1);
+        let top = m.current().top_tenants(2);
+        assert_eq!(top, vec![(TenantId(7), 5), (TenantId(8), 2)]);
+    }
+
+    #[test]
+    fn empty_proportions_are_zero() {
+        let m = WorkloadMonitor::new();
+        assert_eq!(m.current().tenant_proportion(TenantId(1)), 0.0);
+        assert_eq!(m.storage_proportion(TenantId(1)), 0.0);
+    }
+
+    #[test]
+    fn load_storage_seeds_initialization() {
+        let mut m = WorkloadMonitor::new();
+        m.load_storage([(TenantId(1), 900), (TenantId(2), 100)]);
+        assert!((m.storage_proportion(TenantId(1)) - 0.9).abs() < 1e-12);
+        assert_eq!(m.storage_total(), 1000);
+    }
+}

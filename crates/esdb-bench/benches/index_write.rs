@@ -1,0 +1,88 @@
+//! Indexing-path benchmarks: segment build (refresh), merge, and the
+//! composite index's common-prefix compression (§5.1 ablation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use esdb_common::fastmap::fast_set;
+use esdb_common::{RecordId, TenantId};
+use esdb_doc::{CollectionSchema, Document};
+use esdb_index::merge::merge_segments;
+use esdb_index::SegmentBuilder;
+use esdb_workload::{DocGenerator, WriteEvent};
+
+fn docs(n: u64) -> Vec<Document> {
+    let mut gen = DocGenerator::new(1_500, 20, 7);
+    (0..n)
+        .map(|r| {
+            gen.materialize(&WriteEvent {
+                tenant: TenantId(r % 50),
+                record: RecordId(r),
+                created_at: 1_000_000 + r,
+                bytes: 512,
+            })
+        })
+        .collect()
+}
+
+fn bench_index_write(c: &mut Criterion) {
+    let schema = CollectionSchema::transaction_logs();
+
+    let mut group = c.benchmark_group("segment_build");
+    group.sample_size(10);
+    for &n in &[1_000u64, 10_000] {
+        let ds = docs(n);
+        group.bench_with_input(BenchmarkId::new("refresh", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut builder = SegmentBuilder::without_attr_index(schema.clone());
+                    for d in &ds {
+                        builder.add(d.clone());
+                    }
+                    builder
+                },
+                |mut builder| black_box(builder.refresh(1)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("segment_merge");
+    group.sample_size(10);
+    let parts: Vec<_> = (0..4u64)
+        .map(|i| {
+            let mut b = SegmentBuilder::without_attr_index(schema.clone());
+            for d in docs(2_500) {
+                let shifted = Document::builder(
+                    d.tenant_id,
+                    RecordId(d.record_id.raw() + i * 10_000),
+                    d.created_at,
+                )
+                .build();
+                b.add(shifted);
+            }
+            b.refresh(i)
+        })
+        .collect();
+    group.bench_function("merge_4x2500", |b| {
+        let refs: Vec<&esdb_index::Segment> = parts.iter().collect();
+        b.iter(|| black_box(merge_segments(99, &refs, &schema, &fast_set())))
+    });
+    group.finish();
+
+    // Ablation: composite-index common-prefix compression.
+    let mut builder = SegmentBuilder::without_attr_index(schema.clone());
+    for d in docs(10_000) {
+        builder.add(d);
+    }
+    let seg = builder.refresh(1);
+    let comp = seg.composite("tenant_id_created_time").expect("composite");
+    eprintln!(
+        "[ablation] composite index serialized size: {} B compressed vs {} B raw ({:.1}% saved)",
+        comp.compressed_size(),
+        comp.uncompressed_size(),
+        100.0 * (1.0 - comp.compressed_size() as f64 / comp.uncompressed_size() as f64)
+    );
+}
+
+criterion_group!(benches, bench_index_write);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Query-execution benchmarks: posting-list algebra and the optimized vs
+//! naive plan on the paper's example query shape (Fig. 6/7/8).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use esdb_common::{RecordId, TenantId};
+use esdb_doc::CollectionSchema;
+use esdb_index::{PostingList, Segment, SegmentBuilder};
+use esdb_query::{execute_on_segments, parse_sql, translate, QueryOptions};
+use esdb_workload::{DocGenerator, WriteEvent};
+
+fn build_segment(n: u64) -> Segment {
+    let mut gen = DocGenerator::new(1_500, 20, 7);
+    let mut b = SegmentBuilder::without_attr_index(CollectionSchema::transaction_logs());
+    for r in 0..n {
+        b.add(gen.materialize(&WriteEvent {
+            tenant: TenantId(1 + r % 100),
+            record: RecordId(r),
+            created_at: 1_000_000 + r,
+            bytes: 512,
+        }));
+    }
+    b.refresh(1)
+}
+
+fn bench_postings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postings");
+    let a = PostingList::from_sorted((0..100_000).step_by(3).collect());
+    let b_list = PostingList::from_sorted((0..100_000).step_by(7).collect());
+    let sparse = PostingList::from_sorted((0..100_000).step_by(997).collect());
+    group.bench_function("intersect_balanced", |bch| {
+        bch.iter(|| black_box(a.intersect(&b_list)))
+    });
+    group.bench_function("intersect_galloping", |bch| {
+        bch.iter(|| black_box(sparse.intersect(&a)))
+    });
+    group.bench_function("union", |bch| bch.iter(|| black_box(a.union(&b_list))));
+    group.finish();
+}
+
+fn bench_plans(c: &mut Criterion) {
+    let seg = build_segment(50_000);
+    let schema = CollectionSchema::transaction_logs();
+    let sql = "SELECT * FROM transaction_logs WHERE tenant_id = 1 \
+               AND created_time BETWEEN 1010000 AND 1040000 \
+               AND status = 1 AND group IN (1, 2, 3) OR province = 'zhejiang' \
+               LIMIT 100";
+    let q = translate(parse_sql(sql).expect("parse"));
+    let mut group = c.benchmark_group("fig6_query");
+    group.sample_size(30);
+    for (name, use_optimizer) in [("optimized", true), ("naive_lucene", false)] {
+        group.bench_with_input(BenchmarkId::new(name, 50_000), &use_optimizer, |b, &o| {
+            b.iter(|| {
+                black_box(execute_on_segments(
+                    &q,
+                    &schema,
+                    &[&seg],
+                    QueryOptions { use_optimizer: o },
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sql_frontend");
+    group.bench_function("parse_translate", |b| {
+        b.iter(|| black_box(translate(parse_sql(sql).expect("parse"))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_postings, bench_plans);
+criterion_main!(benches);

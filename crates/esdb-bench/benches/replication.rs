@@ -1,0 +1,74 @@
+//! Replication benchmarks: logical vs physical cost per write batch, and
+//! the segment-diff computation (§5.2). The measured logical/physical cost
+//! ratio is what calibrates the simulator's `replica_cost` (Fig. 15).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use esdb_common::{RecordId, SharedClock, TenantId};
+use esdb_doc::{CollectionSchema, Document, WriteOp};
+use esdb_replication::{segment_diff, ReplicatedPair, ReplicationMode, SnapshotInfo};
+
+fn op(r: u64) -> WriteOp {
+    WriteOp::insert(
+        Document::builder(TenantId(1 + r % 10), RecordId(r), 1_000 + r)
+            .field("status", (r % 3) as i64)
+            .field("group", (r % 100) as i64)
+            .field("auction_title", format!("benchmark item number {r}"))
+            .build(),
+    )
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replicate_1000_writes_and_refresh");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("logical", ReplicationMode::Logical),
+        (
+            "physical",
+            ReplicationMode::Physical {
+                pre_replicate_merges: true,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut round = 0u64;
+            b.iter(|| {
+                round += 1;
+                let dir = std::env::temp_dir().join(format!("esdb-bench-repl-{name}-{round}"));
+                let _ = std::fs::remove_dir_all(&dir);
+                let (clock, _d) = SharedClock::manual(0);
+                let mut pair =
+                    ReplicatedPair::open(CollectionSchema::transaction_logs(), &dir, mode, clock)
+                        .expect("open");
+                for r in 0..1_000 {
+                    pair.write(&op(r)).expect("write");
+                }
+                pair.refresh().expect("refresh");
+                black_box(pair.replica_live_docs());
+                let _ = std::fs::remove_dir_all(&dir);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segment_diff");
+    for n in [10usize, 100, 1_000] {
+        let snapshot = SnapshotInfo {
+            snapshot_id: 1,
+            segments: (0..n as u64).map(|i| (i, 1_000)).collect(),
+        };
+        // Replica is missing every 10th segment and has 5 stale ones.
+        let local: Vec<u64> = (0..n as u64)
+            .filter(|i| i % 10 != 0)
+            .chain(10_000..10_005)
+            .collect();
+        group.bench_function(format!("diff_{n}"), |b| {
+            b.iter(|| black_box(segment_diff(&snapshot, &local)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_diff);
+criterion_main!(benches);

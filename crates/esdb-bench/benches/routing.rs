@@ -1,0 +1,53 @@
+//! Routing-policy micro-benchmarks: the per-write cost of each policy's
+//! `route_write`, including dynamic secondary hashing's rule-list lookup.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use esdb_common::{RecordId, TenantId};
+use esdb_routing::{DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy};
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_write");
+    let n = 512u32;
+
+    let hash = HashRouting::new(n);
+    group.bench_function("hashing", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(hash.route_write(TenantId(k % 100_000), RecordId(k), k))
+        })
+    });
+
+    let double = DoubleHashRouting::new(n, 8);
+    group.bench_function("double_hashing", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(double.route_write(TenantId(k % 100_000), RecordId(k), k))
+        })
+    });
+
+    // Dynamic with a populated rule list (rules for the hot tenants, the
+    // realistic steady state).
+    for rules in [0usize, 10, 100, 1_000] {
+        let dynamic = DynamicRouting::new(n);
+        {
+            let handle = dynamic.rules();
+            let mut g = handle.write();
+            for i in 0..rules {
+                g.update(i as u64, 1 << (i % 5), TenantId((i % 64) as u64));
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("dynamic", rules), &rules, |b, _| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                black_box(dynamic.route_write(TenantId(k % 100_000), RecordId(k), k + 2_000))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Rule-list benchmarks, including the paper's power-of-two design choice
+//! (§4.2: "we choose s among exponents of 2 in order to limit the number
+//! of secondary hashing rules and accelerate the search in the rule list").
+//!
+//! The ablation compares rule-list growth and match cost when offsets are
+//! restricted to powers of two (many tenants share a rule) versus
+//! unrestricted offsets (almost every tenant gets its own rule).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use esdb_common::TenantId;
+use esdb_routing::RuleList;
+
+/// Builds a rule list for `n_tenants` hot tenants whose raw desired offsets
+/// span 2..=64, either rounded to powers of two or kept as-is.
+fn build(n_tenants: u64, pow2: bool) -> RuleList {
+    let mut r = RuleList::new();
+    for t in 0..n_tenants {
+        let raw = 2 + (t * 7) % 63;
+        let s = if pow2 {
+            (raw as u32).next_power_of_two()
+        } else {
+            raw as u32
+        };
+        // Tenants flagged in the same balancing pass share an effective
+        // time (Algorithm 1 commits one batch per monitor period) — that
+        // is what lets pow2 offsets share rules (Algorithm 2).
+        r.update(100 + t / 50, s, TenantId(t));
+    }
+    r
+}
+
+fn bench_rule_list(c: &mut Criterion) {
+    // Rule-list growth: how many distinct rules result.
+    {
+        let &n = &1_000u64;
+        let pow2 = build(n, true);
+        let raw = build(n, false);
+        eprintln!(
+            "[ablation] {n} hot tenants -> {} rules with pow2 offsets, {} without",
+            pow2.len(),
+            raw.len()
+        );
+    }
+
+    let mut group = c.benchmark_group("rule_list_match");
+    for &n in &[10u64, 100, 1_000, 10_000] {
+        let list = build(n, true);
+        group.bench_with_input(BenchmarkId::new("offset_for_write_pow2", n), &n, |b, &n| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                black_box(list.offset_for_write(TenantId(k % n), 10_000))
+            })
+        });
+        let list = build(n, false);
+        group.bench_with_input(BenchmarkId::new("offset_for_write_raw", n), &n, |b, &n| {
+            let mut k = 0u64;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                black_box(list.offset_for_write(TenantId(k % n), 10_000))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("rule_list_update");
+    group.bench_function("update_1000th_rule", |b| {
+        b.iter_batched(
+            || build(999, true),
+            |mut list| {
+                list.update(5_000, 16, TenantId(999));
+                black_box(list.len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_list);
+criterion_main!(benches);

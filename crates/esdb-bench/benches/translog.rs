@@ -1,0 +1,59 @@
+//! Translog benchmarks: append throughput, sync batching, and replay.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use esdb_common::{RecordId, TenantId};
+use esdb_doc::{Document, WriteOp};
+use esdb_storage::codec::{decode_op, encode_op};
+use esdb_storage::Translog;
+
+fn op(r: u64) -> WriteOp {
+    WriteOp::insert(
+        Document::builder(TenantId(1), RecordId(r), 1_000 + r)
+            .field("status", (r % 3) as i64)
+            .field("auction_title", format!("translog bench item {r}"))
+            .attr("activity", "1111")
+            .build(),
+    )
+}
+
+fn bench_translog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translog");
+    group.sample_size(20);
+
+    group.bench_function("append_100_sync_once", |b| {
+        let dir = std::env::temp_dir().join("esdb-bench-translog");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut log = Translog::open(&dir).expect("open");
+        let ops: Vec<WriteOp> = (0..100).map(op).collect();
+        b.iter(|| {
+            for o in &ops {
+                log.append(o).expect("append");
+            }
+            black_box(log.sync().expect("sync"))
+        });
+    });
+
+    group.bench_function("replay_10k", |b| {
+        let dir = std::env::temp_dir().join("esdb-bench-translog-replay");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut log = Translog::open(&dir).expect("open");
+        for r in 0..10_000 {
+            log.append(&op(r)).expect("append");
+        }
+        log.sync().expect("sync");
+        b.iter(|| black_box(log.replay().expect("replay").len()));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("codec");
+    let o = op(42);
+    let bytes = encode_op(&o);
+    group.bench_function("encode_op", |b| b.iter(|| black_box(encode_op(&o))));
+    group.bench_function("decode_op", |b| {
+        b.iter(|| black_box(decode_op(&bytes).expect("decode")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_translog);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Zipf sampler benchmarks: table-based inverse CDF vs rejection
+//! inversion, across population sizes (the workload generator samples one
+//! tenant per simulated write, so this is on the simulator's hot path).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use esdb_common::zipf::{ZipfRejection, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf_sample");
+    for &n in &[1_000usize, 100_000, 1_000_000] {
+        let table = ZipfSampler::new(n, 1.0);
+        group.bench_with_input(BenchmarkId::new("table", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(table.sample(&mut rng)))
+        });
+        let rej = ZipfRejection::new(n as u64, 1.0);
+        group.bench_with_input(BenchmarkId::new("rejection", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(rej.sample(&mut rng)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("zipf_build");
+    group.sample_size(10);
+    group.bench_function("table_1M", |b| {
+        b.iter(|| black_box(ZipfSampler::new(1_000_000, 1.0)))
+    });
+    group.bench_function("rejection_1M", |b| {
+        b.iter(|| black_box(ZipfRejection::new(1_000_000, 1.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_zipf);
+criterion_main!(benches);

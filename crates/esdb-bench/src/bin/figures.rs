@@ -1,0 +1,67 @@
+//! Regenerates the paper's evaluation figures (§6).
+//!
+//! ```sh
+//! cargo run -p esdb-bench --release --bin figures -- all
+//! cargo run -p esdb-bench --release --bin figures -- fig10 fig16 --quick
+//! ```
+//!
+//! Figure ids: fig1 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17 fig18
+//! fig19 ablations. `--quick` shrinks runs for smoke-testing.
+
+use esdb_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if wanted.is_empty() {
+        eprintln!(
+            "usage: figures [--quick] <fig1|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|ablations|all> ..."
+        );
+        std::process::exit(2);
+    }
+    let all = wanted.contains(&"all");
+    let want = |id: &str| all || wanted.contains(&id);
+
+    let started = std::time::Instant::now();
+    if want("fig1") {
+        figures::fig01::run(quick);
+    }
+    if want("fig10") {
+        figures::fig10::run(quick);
+    }
+    // Figures 11 and 12 share the θ sweep.
+    if want("fig11") || want("fig12") {
+        figures::fig11_12::run(quick);
+    }
+    if want("fig13") {
+        figures::fig13::run(quick);
+    }
+    if want("fig14") {
+        figures::fig14::run(quick);
+    }
+    if want("fig15") {
+        figures::fig15::run(quick);
+    }
+    if want("fig16") {
+        figures::fig16::run(quick);
+    }
+    // Figures 17 and 18 share the real-engine dataset.
+    if want("fig17") || want("fig18") {
+        figures::fig17_18::run(quick);
+    }
+    if want("fig19") {
+        figures::fig19::run(quick);
+    }
+    if want("ablations") {
+        figures::ablations::run(quick);
+    }
+    eprintln!(
+        "\n[figures completed in {:.1}s]",
+        started.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,186 @@
+//! Ablations of the design choices DESIGN.md calls out (not figures in the
+//! paper, but decisions §4–5 argue for):
+//!
+//! 1. power-of-two offsets vs unrestricted (`rule-list growth`, §4.2),
+//! 2. the commit-wait interval `T` (§4.3),
+//! 3. the hotspot threshold (`CheckHotSpot` sensitivity),
+//! 4. pre-replication of merged segments (visibility delay, §5.2).
+
+use crate::output::{banner, Table};
+use esdb_cluster::{ClusterConfig, PolicySpec, SimCluster};
+use esdb_common::{RecordId, TenantId};
+use esdb_workload::{RateSchedule, TraceGenerator};
+
+/// Runs all ablations. (The pow2-vs-unrestricted offset ablation lives in
+/// the `rule_list` Criterion bench, where rule-list growth and match cost
+/// are measured directly.)
+pub fn run(quick: bool) {
+    banner("Ablations — commit-wait T, hotspot threshold, pre-replication, one-hop routing");
+    ablate_t(quick);
+    ablate_threshold(quick);
+    ablate_prereplication();
+    ablate_one_hop(quick);
+}
+
+/// One-hop vs two-hop write routing (§3.1): routing-aware clients skip the
+/// coordinator forward, removing one network hop from every write.
+fn ablate_one_hop(quick: bool) {
+    println!("\n(5) one-hop vs two-hop routing: avg write delay at 120K TPS");
+    let mut table = Table::new(&["client", "avg delay (ms)"]);
+    for one_hop in [true, false] {
+        let mut cfg = ClusterConfig::paper(PolicySpec::DoubleHashing { s: 8 });
+        cfg.client.one_hop = one_hop;
+        cfg.client.hop_latency_ms = 25;
+        let tick = cfg.tick_ms;
+        let mut cluster = SimCluster::new(cfg);
+        let mut gen = TraceGenerator::new(10_000, 1.0, RateSchedule::constant(120_000.0), 8);
+        let duration = if quick { 20_000 } else { 40_000 };
+        for _ in 0..(duration / tick) {
+            let now = cluster.now();
+            let events = gen.tick(now, tick);
+            cluster.step(events);
+        }
+        let r = cluster.finish();
+        table.row(vec![
+            if one_hop {
+                "one-hop (ESDB)".into()
+            } else {
+                "two-hop (stock ES)".to_string()
+            },
+            format!("{:.0}", r.avg_completed_delay_ms(duration / 2)),
+        ]);
+    }
+    table.print();
+}
+
+/// Sweep the commit-wait interval T: larger T delays the effect of rules
+/// (recovery slows); the protocol stays non-blocking as long as rounds
+/// finish within T.
+fn ablate_t(quick: bool) {
+    println!("\n(2) commit-wait interval T: time for dynamic to recover from a hotspot wave");
+    let mut table = Table::new(&["T (ms)", "backlog peak", "drained by (s)"]);
+    for t_ms in [1_000u64, 5_000, 15_000, 30_000] {
+        let mut cfg = ClusterConfig::paper(PolicySpec::Dynamic);
+        cfg.consensus_t_ms = t_ms;
+        cfg.monitor_period_ms = 10_000;
+        let tick = cfg.tick_ms;
+        let mut cluster = SimCluster::new(cfg);
+        let mut base = TraceGenerator::new(10_000, 0.5, RateSchedule::constant(100_000.0), 3);
+        let mut hot = TraceGenerator::new(3, 0.0, RateSchedule::constant(40_000.0), 4)
+            .with_offsets(5_000_000, 5_000_000_000);
+        let duration = if quick { 120_000 } else { 180_000 };
+        let mut peak = 0usize;
+        let mut drained_at = None;
+        for _ in 0..(duration / tick) {
+            let now = cluster.now();
+            let mut events = base.tick(now, tick);
+            if now >= 30_000 {
+                events.extend(hot.tick(now, tick));
+            }
+            cluster.step(events);
+            let b = cluster.backlog();
+            peak = peak.max(b);
+            if now > 40_000 && b == 0 && drained_at.is_none() {
+                drained_at = Some(now / 1_000);
+            }
+            if now > 40_000 && b > 0 {
+                drained_at = None;
+            }
+        }
+        table.row(vec![
+            t_ms.to_string(),
+            peak.to_string(),
+            drained_at.map_or("never".into(), |s| s.to_string()),
+        ]);
+    }
+    table.print();
+}
+
+/// Hotspot-threshold sweep: a lower threshold reacts to smaller tenants
+/// (more rules, more balance); a higher one leaves mid-size hotspots
+/// unsplit.
+fn ablate_threshold(quick: bool) {
+    println!("\n(3) CheckHotSpot threshold factor: balance vs rule churn, θ=1.5 @ 150K TPS");
+    let mut table = Table::new(&["hot_factor", "rules", "node stddev (TPS)", "tput (TPS)"]);
+    for factor in [0.25, 0.5, 1.0, 2.0] {
+        let mut cfg = ClusterConfig::paper(PolicySpec::Dynamic);
+        cfg.balancer.offset.hot_factor = factor;
+        let tick = cfg.tick_ms;
+        let mut cluster = SimCluster::new(cfg);
+        let mut gen = TraceGenerator::new(100_000, 1.5, RateSchedule::constant(150_000.0), 9);
+        let duration = if quick { 60_000 } else { 120_000 };
+        for _ in 0..(duration / tick) {
+            let now = cluster.now();
+            let events = gen.tick(now, tick);
+            cluster.step(events);
+        }
+        let r = cluster.finish();
+        table.row(vec![
+            format!("{factor:.2}"),
+            r.rules_committed.to_string(),
+            format!("{:.0}", r.node_throughput_stddev()),
+            format!("{:.0}", r.throughput_tps(duration / 3)),
+        ]);
+    }
+    table.print();
+}
+
+/// Pre-replication of merged segments: visibility delay of refreshed
+/// segments with and without it (§5.2).
+fn ablate_prereplication() {
+    println!("\n(4) pre-replication of merged segments: refreshed-segment shipping");
+    use esdb_common::SharedClock;
+    use esdb_doc::{CollectionSchema, Document, WriteOp};
+    use esdb_replication::{ReplicatedPair, ReplicationMode};
+    let mut table = Table::new(&[
+        "mode",
+        "segments via diff",
+        "segments pre-replicated",
+        "bytes shipped",
+    ]);
+    for pre in [false, true] {
+        let dir = std::env::temp_dir().join(format!("esdb-ablate-prerepl-{pre}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (clock, _driver) = SharedClock::manual(0);
+        let mut pair = ReplicatedPair::open(
+            CollectionSchema::transaction_logs(),
+            dir,
+            ReplicationMode::Physical {
+                pre_replicate_merges: pre,
+            },
+            clock,
+        )
+        .expect("open pair");
+        let mut rid = 0u64;
+        for _round in 0..3 {
+            for batch in 0..4 {
+                for _ in 0..50 {
+                    pair.write(&WriteOp::insert(
+                        Document::builder(TenantId(1), RecordId(rid), 100 + rid)
+                            .field("status", (rid % 2) as i64)
+                            .build(),
+                    ))
+                    .expect("write");
+                    rid += 1;
+                }
+                let _ = batch;
+                pair.refresh().expect("refresh");
+            }
+            pair.maybe_merge();
+            pair.refresh().expect("refresh");
+        }
+        let m = pair.metrics();
+        table.row(vec![
+            if pre {
+                "pre-replication".into()
+            } else {
+                "diff-only".to_string()
+            },
+            m.segments_shipped_incremental.to_string(),
+            m.segments_shipped_prereplicated.to_string(),
+            m.segment_bytes_shipped.to_string(),
+        ]);
+    }
+    table.print();
+    println!("with pre-replication, merged segments never appear in a segment diff (§5.2)");
+}

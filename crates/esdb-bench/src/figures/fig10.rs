@@ -1,0 +1,48 @@
+//! Figure 10: write throughput (a) and average delay (b) versus generating
+//! rate at θ=1, for the three routing policies. Paper shape: Hashing
+//! plateaus around 90K TPS while double/dynamic climb to ~140K; delays
+//! explode once a policy passes its saturation point, hashing first and
+//! steepest.
+
+use crate::harness::{all_policies, run_write_sim, warmup_ms, SimParams};
+use crate::output::{banner, fmt_k, Table};
+
+/// Runs the reproduction.
+pub fn run(quick: bool) {
+    banner("Figure 10 — write throughput (a) and average delay (b) vs generating rate, θ=1");
+    let rates: &[f64] = if quick {
+        &[80_000.0, 120_000.0, 160_000.0, 200_000.0]
+    } else {
+        &[
+            40_000.0, 80_000.0, 100_000.0, 120_000.0, 140_000.0, 160_000.0, 180_000.0, 200_000.0,
+        ]
+    };
+    let mut tput = Table::new(&["rate", "Hashing", "Double hashing", "Dynamic"]);
+    let mut delay = Table::new(&[
+        "rate",
+        "Hashing (ms)",
+        "Double hashing (ms)",
+        "Dynamic (ms)",
+    ]);
+    for &rate in rates {
+        let mut t_row = vec![fmt_k(rate)];
+        let mut d_row = vec![fmt_k(rate)];
+        for policy in all_policies() {
+            let mut p = SimParams::paper(policy);
+            p.rate = rate;
+            if quick {
+                p = p.quick();
+            }
+            let r = run_write_sim(&p);
+            let w = warmup_ms(&p);
+            t_row.push(fmt_k(r.throughput_tps(w)));
+            d_row.push(format!("{:.0}", r.avg_delay_ms(w)));
+        }
+        tput.row(t_row);
+        delay.row(d_row);
+    }
+    println!("(a) cluster write throughput (TPS)");
+    tput.print();
+    println!("\n(b) average write delay (ms)");
+    delay.print();
+}

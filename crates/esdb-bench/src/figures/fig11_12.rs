@@ -1,0 +1,59 @@
+//! Figures 11 and 12 share the θ sweep at 160K TPS:
+//!
+//! * Fig. 11 — write throughput (a) and average delay (b) vs θ ∈
+//!   {0, 0.5, 1, 1.5, 2}. Paper shape: all equal at θ=0; hashing's
+//!   throughput collapses and its delay grows >100× as θ rises, while
+//!   double/dynamic stay flat (~0.2 s delays).
+//! * Fig. 12 — stddev of per-node (a) and per-shard (b) throughput vs θ.
+//!   Paper shape: hashing's stddev explodes with θ; dynamic stays near
+//!   double hashing.
+
+use crate::harness::{all_policies, run_write_sim, warmup_ms, SimParams};
+use crate::output::{banner, fmt_k, Table};
+
+const THETAS: [f64; 5] = [0.0, 0.5, 1.0, 1.5, 2.0];
+
+/// Runs both reproductions (they share the sweep).
+pub fn run(quick: bool) {
+    banner("Figures 11/12 — θ sweep at 160K TPS: throughput, delay, node/shard stddev");
+    let mut tput = Table::new(&["theta", "Hashing", "Double hashing", "Dynamic"]);
+    let mut delay = Table::new(&[
+        "theta",
+        "Hashing (ms)",
+        "Double hashing (ms)",
+        "Dynamic (ms)",
+    ]);
+    let mut node_sd = Table::new(&["theta", "Hashing", "Double hashing", "Dynamic"]);
+    let mut shard_sd = Table::new(&["theta", "Hashing", "Double hashing", "Dynamic"]);
+    for theta in THETAS {
+        let mut t_row = vec![format!("{theta:.1}")];
+        let mut d_row = vec![format!("{theta:.1}")];
+        let mut n_row = vec![format!("{theta:.1}")];
+        let mut s_row = vec![format!("{theta:.1}")];
+        for policy in all_policies() {
+            let mut p = SimParams::paper(policy);
+            p.theta = theta;
+            // The paper averages >15 minutes; we use a shorter steady
+            // window (shapes converge long before).
+            p.duration_s = if quick { 40 } else { 120 };
+            let r = run_write_sim(&p);
+            let w = warmup_ms(&p);
+            t_row.push(fmt_k(r.throughput_tps(w)));
+            d_row.push(format!("{:.0}", r.avg_delay_ms(w)));
+            n_row.push(fmt_k(r.node_throughput_stddev()));
+            s_row.push(format!("{:.1}", r.shard_throughput_stddev()));
+        }
+        tput.row(t_row);
+        delay.row(d_row);
+        node_sd.row(n_row);
+        shard_sd.row(s_row);
+    }
+    println!("Fig 11(a) write throughput (TPS)");
+    tput.print();
+    println!("\nFig 11(b) average write delay (ms)");
+    delay.print();
+    println!("\nFig 12(a) stddev of per-node throughput (TPS)");
+    node_sd.print();
+    println!("\nFig 12(b) stddev of per-shard throughput (TPS)");
+    shard_sd.print();
+}

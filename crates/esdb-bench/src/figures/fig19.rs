@@ -1,0 +1,94 @@
+//! Figure 19: online performance at the Singles' Day festival kickoff —
+//! max write delay and average query latency over ~30 minutes around
+//! midnight.
+//!
+//! Paper shape: the max write delay spikes at 00:00 (the kickoff burst),
+//! ESDB detects the hotspots, commits new secondary hashing rules, and
+//! fully eliminates write delays within ~7 minutes; average query latency
+//! stays ≤164 ms throughout. (Previous years without ESDB: >100 minutes.)
+
+use crate::output::{banner, Table};
+use esdb_cluster::{ClusterConfig, PolicySpec, QueryCostModel, QueryThroughputModel, SimCluster};
+use esdb_workload::{RateSchedule, TraceGenerator};
+
+/// Runs the reproduction.
+pub fn run(quick: bool) {
+    banner("Figure 19 — festival kickoff: max write delay & avg query latency");
+    // Timeline: 10 min pre-midnight calm, a 60 s kickoff burst at
+    // "00:00", then sustained festival traffic.
+    let pre_ms = if quick { 120_000 } else { 600_000 };
+    let post_ms = if quick { 480_000 } else { 1_200_000 };
+    let calm = 40_000.0;
+    // Kickoff burst sized so the backlog drains within the paper's ~7 min
+    // (the cluster's spare capacity post-burst is ~20K writes/s).
+    let burst = 220_000.0;
+    let festival = 140_000.0;
+
+    let mut cfg = ClusterConfig::paper(PolicySpec::Dynamic);
+    cfg.monitor_period_ms = 10_000;
+    cfg.consensus_t_ms = 5_000;
+    let tick = cfg.tick_ms;
+    let mut cluster = SimCluster::new(cfg);
+    let schedule = RateSchedule::steps(vec![
+        (0, calm),
+        (pre_ms, burst),
+        (pre_ms + 60_000, festival),
+    ]);
+    let mut gen = TraceGenerator::new(100_000, 1.0, schedule, 1111);
+
+    let duration = pre_ms + post_ms;
+    let window_ms = 60_000u64;
+    let mut rows: Vec<(i64, u64, f64)> = Vec::new();
+    let mut next_window = window_ms;
+    for _ in 0..(duration / tick) {
+        let now = cluster.now();
+        let events = gen.tick(now, tick);
+        cluster.step(events);
+        if now + tick >= next_window {
+            let report = cluster.report_so_far();
+            let max_delay = report.max_delay_in(next_window - window_ms, next_window);
+            // Query latency from the analytic model against the current
+            // state (top-100 tenant average).
+            let model = QueryThroughputModel::new(report, QueryCostModel::default());
+            let mut lat = 0.0;
+            for rank in 1..=100 {
+                let t = gen.tenant_of_rank(rank);
+                lat += model.latency_ms(t, &cluster.read_span(t));
+            }
+            // Queries share the workers with writes: apply an M/M/1-style
+            // queueing factor from the window's utilization so latency
+            // rises with load like the paper's online trace.
+            let window_ticks: Vec<_> = report
+                .ticks
+                .iter()
+                .filter(|t| t.time_ms >= next_window - window_ms && t.time_ms < next_window)
+                .collect();
+            let completed: u64 = window_ticks.iter().map(|t| t.completed).sum();
+            let rho = (completed as f64 / (window_ms as f64 / 1_000.0) / 160_000.0).min(0.99);
+            let queueing = (1.0 / (1.0 - 0.9 * rho)).min(12.0);
+            rows.push((
+                (next_window as i64 - pre_ms as i64) / 1_000,
+                max_delay,
+                lat / 100.0 * queueing,
+            ));
+            next_window += window_ms;
+        }
+    }
+    let mut t = Table::new(&[
+        "t rel. midnight (s)",
+        "max write delay (s)",
+        "avg query latency (ms)",
+    ]);
+    for (ts, delay, lat) in rows {
+        t.row(vec![
+            format!("{ts:+}"),
+            format!("{:.1}", delay as f64 / 1_000.0),
+            format!("{lat:.0}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "kickoff burst: {calm:.0}→{burst:.0} TPS for 60 s, then {festival:.0} TPS; \
+         delays should vanish within minutes of the rules committing (paper: <7 min)"
+    );
+}

@@ -1,0 +1,13 @@
+//! One module per reproduced figure (paper §6). Each exposes
+//! `run(quick: bool)`, printing the same series the paper plots.
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig10;
+pub mod fig11_12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17_18;
+pub mod fig19;

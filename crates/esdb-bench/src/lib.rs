@@ -1,0 +1,15 @@
+//! Benchmark harness for ESDB-RS.
+//!
+//! The `figures` binary (`src/bin/figures.rs`) regenerates every figure of
+//! the paper's evaluation (§6); the Criterion benches under `benches/`
+//! micro-benchmark the engine pieces. This library holds the shared
+//! plumbing: simulation runners, dataset builders for the real-engine
+//! experiments, and plain-text table output.
+
+pub mod datasets;
+pub mod figures;
+pub mod harness;
+pub mod output;
+
+pub use harness::{run_write_sim, SimParams};
+pub use output::Table;

@@ -1,0 +1,141 @@
+//! Simulator configuration.
+
+use esdb_balancer::BalancerConfig;
+
+/// Which routing policy the cluster runs (the three lines in every figure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// `h1(k1) mod N`.
+    Hashing,
+    /// Static double hashing with offset `s` (the paper's evaluation uses
+    /// `s = 8`).
+    DoubleHashing {
+        /// Static maximum offset.
+        s: u32,
+    },
+    /// Dynamic secondary hashing with the load balancer enabled.
+    Dynamic,
+}
+
+impl PolicySpec {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicySpec::Hashing => "Hashing",
+            PolicySpec::DoubleHashing { .. } => "Double hashing",
+            PolicySpec::Dynamic => "Dynamic secondary hashing",
+        }
+    }
+}
+
+/// Write-client behaviour (§3.1).
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Max outstanding tasks a worker accepts before the client considers
+    /// it overloaded (bounded worker queue), in seconds of node capacity.
+    pub max_pending_secs: f64,
+    /// Hotspot isolation: divert workloads targeting overloaded workers to
+    /// a side queue instead of head-of-line blocking the dispatch queue.
+    pub hotspot_isolation: bool,
+    /// One-hop routing (§3.1): routing-aware clients send straight to the
+    /// worker. `false` models stock Elasticsearch transport clients, which
+    /// round-robin to a coordinator first (client → coordinator → worker),
+    /// paying an extra network hop per write.
+    pub one_hop: bool,
+    /// Latency of the extra coordinator hop when `one_hop` is false, ms.
+    pub hop_latency_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_pending_secs: 2.0,
+            hotspot_isolation: true,
+            one_hop: true,
+            hop_latency_ms: 2,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker nodes (paper: 8).
+    pub n_nodes: u32,
+    /// Shards (paper: 512).
+    pub n_shards: u32,
+    /// Per-node indexing capacity in work units/sec. One primary write =
+    /// 1 unit; one replica execution = `replica_cost` units. 40_000 with
+    /// `replica_cost = 1.0` gives the paper's ≈160K TPS balanced ceiling
+    /// on 8 nodes.
+    pub node_capacity_per_sec: f64,
+    /// Replica execution cost relative to a primary (1.0 = logical
+    /// replication; the physical-replication experiments use ≈0.3:
+    /// translog append + segment install instead of re-indexing).
+    pub replica_cost: f64,
+    /// Simulation tick, ms.
+    pub tick_ms: u64,
+    /// Routing policy under test.
+    pub policy: PolicySpec,
+    /// Write-client behaviour.
+    pub client: ClientConfig,
+    /// Monitor reporting period, ms (runtime phase of Algorithm 1).
+    pub monitor_period_ms: u64,
+    /// Consensus commit-wait interval `T`, ms (§4.3).
+    pub consensus_t_ms: u64,
+    /// Load balancer settings (only used by `PolicySpec::Dynamic`).
+    pub balancer: BalancerConfig,
+}
+
+impl ClusterConfig {
+    /// The paper's testbed shape: 8 nodes, 512 shards, logical replication.
+    pub fn paper(policy: PolicySpec) -> Self {
+        let n_nodes = 8;
+        let n_shards = 512;
+        ClusterConfig {
+            n_nodes,
+            n_shards,
+            node_capacity_per_sec: 40_000.0,
+            replica_cost: 1.0,
+            tick_ms: 100,
+            policy,
+            client: ClientConfig::default(),
+            monitor_period_ms: 10_000,
+            consensus_t_ms: 5_000,
+            balancer: BalancerConfig::new(n_shards, n_nodes),
+        }
+    }
+
+    /// A small cluster for fast unit tests.
+    pub fn small(policy: PolicySpec) -> Self {
+        let n_nodes = 4;
+        let n_shards = 32;
+        ClusterConfig {
+            n_nodes,
+            n_shards,
+            node_capacity_per_sec: 1_000.0,
+            replica_cost: 1.0,
+            tick_ms: 100,
+            policy,
+            client: ClientConfig::default(),
+            monitor_period_ms: 2_000,
+            consensus_t_ms: 1_000,
+            balancer: BalancerConfig::new(n_shards, n_nodes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_shape() {
+        let c = ClusterConfig::paper(PolicySpec::Dynamic);
+        assert_eq!(c.n_nodes, 8);
+        assert_eq!(c.n_shards, 512);
+        assert_eq!(c.policy.label(), "Dynamic secondary hashing");
+        // T must sit between RTT/skew and the balancing period, §4.3.
+        assert!(c.consensus_t_ms > 1_000 && c.consensus_t_ms < 60_000);
+    }
+}

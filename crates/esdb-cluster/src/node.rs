@@ -1,0 +1,200 @@
+//! Simulated worker nodes.
+
+use esdb_common::{ShardId, TenantId, TimestampMs};
+use std::collections::VecDeque;
+
+/// A unit of work queued on a node.
+#[derive(Debug, Clone, Copy)]
+pub enum Task {
+    /// Index a write on the primary shard (cost 1.0). Carries what the
+    /// metrics layer needs at completion time.
+    Primary {
+        /// Tenant of the write.
+        tenant: TenantId,
+        /// Target shard.
+        shard: ShardId,
+        /// Record creation time (for delay measurement).
+        created_at: TimestampMs,
+        /// Row bytes (for storage accounting).
+        bytes: u32,
+    },
+    /// Apply the write on a replica (cost = `replica_cost`).
+    Replica {
+        /// Replica shard.
+        shard: ShardId,
+    },
+}
+
+/// A worker node: fixed capacity per tick, FIFO queue.
+#[derive(Debug)]
+pub struct SimNode {
+    /// Capacity in work units per tick.
+    capacity_per_tick: f64,
+    /// Unused budget carried across ticks (fractional capacities).
+    budget: f64,
+    queue: VecDeque<Task>,
+    /// Work units queued but not yet executed.
+    pub pending_work: f64,
+    /// Work units executed in the current tick (reset each tick).
+    pub work_this_tick: f64,
+    /// Total work units executed.
+    pub total_work: f64,
+    /// Total primary completions.
+    pub completed_primaries: u64,
+    /// Primary tasks currently queued (for in-system accounting).
+    pub pending_primaries: u64,
+    /// Sum of capacity offered so far (for utilization).
+    pub offered_capacity: f64,
+}
+
+impl SimNode {
+    /// A node processing `capacity_per_tick` work units each tick.
+    pub fn new(capacity_per_tick: f64) -> Self {
+        SimNode {
+            capacity_per_tick,
+            budget: 0.0,
+            queue: VecDeque::new(),
+            pending_work: 0.0,
+            work_this_tick: 0.0,
+            total_work: 0.0,
+            completed_primaries: 0,
+            pending_primaries: 0,
+            offered_capacity: 0.0,
+        }
+    }
+
+    /// Queue length in tasks.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues a task costing `cost` units.
+    pub fn enqueue(&mut self, task: Task, cost: f64) {
+        if matches!(task, Task::Primary { .. }) {
+            self.pending_primaries += 1;
+        }
+        self.pending_work += cost;
+        self.queue.push_back(task);
+    }
+
+    /// Runs one tick; completed primary tasks are passed to `on_primary`.
+    /// `replica_cost` prices Replica tasks.
+    pub fn run_tick<F: FnMut(Task)>(&mut self, replica_cost: f64, mut on_primary: F) {
+        self.budget += self.capacity_per_tick;
+        self.offered_capacity += self.capacity_per_tick;
+        self.work_this_tick = 0.0;
+        while let Some(task) = self.queue.front() {
+            let cost = match task {
+                Task::Primary { .. } => 1.0,
+                Task::Replica { .. } => replica_cost,
+            };
+            if self.budget < cost {
+                break;
+            }
+            self.budget -= cost;
+            self.pending_work -= cost;
+            self.work_this_tick += cost;
+            self.total_work += cost;
+            let task = self.queue.pop_front().expect("front checked");
+            if let Task::Primary { .. } = task {
+                self.completed_primaries += 1;
+                self.pending_primaries -= 1;
+                on_primary(task);
+            }
+        }
+        // An idle node cannot bank more than one tick of capacity
+        // (capacity is not storable in a real CPU).
+        if self.queue.is_empty() {
+            self.budget = self.budget.min(self.capacity_per_tick);
+        }
+    }
+
+    /// Lifetime utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.offered_capacity == 0.0 {
+            0.0
+        } else {
+            (self.total_work / self.offered_capacity).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn primary(shard: u32) -> Task {
+        Task::Primary {
+            tenant: TenantId(1),
+            shard: ShardId(shard),
+            created_at: 0,
+            bytes: 100,
+        }
+    }
+
+    #[test]
+    fn processes_up_to_capacity() {
+        let mut n = SimNode::new(5.0);
+        for _ in 0..12 {
+            n.enqueue(primary(0), 1.0);
+        }
+        let mut done = 0;
+        n.run_tick(1.0, |_| done += 1);
+        assert_eq!(done, 5);
+        n.run_tick(1.0, |_| done += 1);
+        assert_eq!(done, 10);
+        n.run_tick(1.0, |_| done += 1);
+        assert_eq!(done, 12);
+        assert_eq!(n.queue_len(), 0);
+    }
+
+    #[test]
+    fn replica_tasks_consume_budget_but_dont_complete() {
+        let mut n = SimNode::new(4.0);
+        n.enqueue(Task::Replica { shard: ShardId(0) }, 0.5);
+        n.enqueue(Task::Replica { shard: ShardId(0) }, 0.5);
+        n.enqueue(primary(0), 1.0);
+        let mut done = 0;
+        n.run_tick(0.5, |_| done += 1);
+        assert_eq!(done, 1);
+        assert_eq!(n.completed_primaries, 1);
+        assert!((n.total_work - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_capacity_carries() {
+        let mut n = SimNode::new(0.6);
+        n.enqueue(primary(0), 1.0);
+        let mut done = 0;
+        n.run_tick(1.0, |_| done += 1);
+        assert_eq!(done, 0, "0.6 < 1.0");
+        n.run_tick(1.0, |_| done += 1);
+        assert_eq!(done, 1, "1.2 >= 1.0");
+    }
+
+    #[test]
+    fn idle_budget_does_not_accumulate() {
+        let mut n = SimNode::new(10.0);
+        for _ in 0..5 {
+            n.run_tick(1.0, |_| {});
+        }
+        for _ in 0..25 {
+            n.enqueue(primary(0), 1.0);
+        }
+        let mut done = 0;
+        n.run_tick(1.0, |_| done += 1);
+        // At most 2 ticks of budget (one banked + one fresh).
+        assert!(done <= 20, "burst {done} exceeds banked+fresh capacity");
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut n = SimNode::new(10.0);
+        for _ in 0..10 {
+            n.enqueue(primary(0), 1.0);
+        }
+        n.run_tick(1.0, |_| {});
+        n.run_tick(1.0, |_| {});
+        assert!((n.utilization() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,100 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, EsdbError>;
+
+/// Errors produced anywhere in ESDB-RS.
+///
+/// The variants mirror the failure domains of the paper's architecture:
+/// storage (translog / segments), routing (rule lookup), consensus (rule
+/// commit), query (parse / plan / execute), and cluster management.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EsdbError {
+    /// An I/O failure in the translog or segment store.
+    Io(String),
+    /// Data corruption detected (bad checksum, truncated record, ...).
+    Corruption(String),
+    /// No secondary hashing rule matches a write/read (should not happen
+    /// when the rule list is initialized with the catch-all rule).
+    NoMatchingRule { tenant: u64, created_at: u64 },
+    /// A consensus round was aborted (participant error or timeout).
+    ConsensusAborted(String),
+    /// A write arrived for a blocked window during rule commit.
+    WorkloadBlocked { until: u64 },
+    /// SQL or DSL parse error.
+    Parse(String),
+    /// Query planning error (unknown column, unsupported predicate, ...).
+    Plan(String),
+    /// Query execution error.
+    Execution(String),
+    /// Document validation error (missing routing fields, bad types, ...).
+    InvalidDocument(String),
+    /// Unknown collection/table.
+    UnknownCollection(String),
+    /// A requested shard/node does not exist.
+    UnknownShard(u32),
+    /// The cluster is misconfigured (e.g. zero shards).
+    Config(String),
+    /// The operation raced with a concurrent change and should be retried.
+    Retry(String),
+    /// Replication failure (diff mismatch, missing segment, ...).
+    Replication(String),
+}
+
+impl fmt::Display for EsdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EsdbError::Io(m) => write!(f, "io error: {m}"),
+            EsdbError::Corruption(m) => write!(f, "corruption: {m}"),
+            EsdbError::NoMatchingRule { tenant, created_at } => write!(
+                f,
+                "no secondary hashing rule matches tenant {tenant} at t={created_at}"
+            ),
+            EsdbError::ConsensusAborted(m) => write!(f, "consensus aborted: {m}"),
+            EsdbError::WorkloadBlocked { until } => {
+                write!(f, "workload blocked until t={until} by rule commit")
+            }
+            EsdbError::Parse(m) => write!(f, "parse error: {m}"),
+            EsdbError::Plan(m) => write!(f, "plan error: {m}"),
+            EsdbError::Execution(m) => write!(f, "execution error: {m}"),
+            EsdbError::InvalidDocument(m) => write!(f, "invalid document: {m}"),
+            EsdbError::UnknownCollection(m) => write!(f, "unknown collection: {m}"),
+            EsdbError::UnknownShard(s) => write!(f, "unknown shard: {s}"),
+            EsdbError::Config(m) => write!(f, "config error: {m}"),
+            EsdbError::Retry(m) => write!(f, "retryable conflict: {m}"),
+            EsdbError::Replication(m) => write!(f, "replication error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EsdbError {}
+
+impl From<std::io::Error> for EsdbError {
+    fn from(e: std::io::Error) -> Self {
+        EsdbError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EsdbError::NoMatchingRule {
+            tenant: 42,
+            created_at: 1000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("1000"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: EsdbError = io.into();
+        assert!(matches!(e, EsdbError::Io(_)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Fast hash maps for hot paths.
+//!
+//! The routing and monitoring layers hash small integer keys (tenant IDs,
+//! shard indices) millions of times per simulated second. SipHash (std's
+//! default) is overkill there; this module provides an FxHash-style
+//! multiply-xor hasher and map/set aliases, following the standard
+//! performance guidance for database engines. HashDoS is not a concern:
+//! keys are internal identifiers, not attacker-controlled strings.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher (the rustc `FxHasher` algorithm).
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Creates an empty [`FastMap`].
+pub fn fast_map<K, V>() -> FastMap<K, V> {
+    FastMap::default()
+}
+
+/// Creates an empty [`FastSet`].
+pub fn fast_set<K>() -> FastSet<K> {
+    FastSet::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_basic_ops() {
+        let mut m: FastMap<u64, &str> = fast_map();
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.len(), 2);
+        m.remove(&1);
+        assert!(!m.contains_key(&1));
+    }
+
+    #[test]
+    fn set_dedup() {
+        let mut s: FastSet<u32> = fast_set();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn hasher_distinguishes_lengths() {
+        // The tail-length mix must differentiate "ab" from "ab\0".
+        use std::hash::Hash;
+        fn h<T: Hash>(v: T) -> u64 {
+            let mut hasher = FxHasher::default();
+            v.hash(&mut hasher);
+            hasher.finish()
+        }
+        assert_ne!(h([1u8, 2].as_slice()), h([1u8, 2, 0].as_slice()));
+        assert_ne!(h(1u64), h(2u64));
+    }
+}

@@ -1,0 +1,312 @@
+//! Statistics helpers used by the workload monitor and the benchmark
+//! harness (means, standard deviations, quantiles, fixed-resolution
+//! latency histograms).
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Mean of a slice (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Quantile via linear interpolation on a *sorted* slice. `q` in `[0,1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let pos = q * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+/// Sorts a copy of `xs` and returns the `q`-quantile.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    quantile_sorted(&v, q)
+}
+
+/// A fixed-bucket latency histogram with exponentially-growing bucket
+/// bounds, good enough for p50/p90/p99/p999 reporting without storing every
+/// sample.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// Upper bounds (exclusive) for each bucket, in microseconds.
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    total: u64,
+    sum_us: u128,
+    max_us: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Histogram covering 1 µs .. ~1.2 hours with ~4% resolution.
+    pub fn new() -> Self {
+        let mut bounds = Vec::new();
+        let mut b = 1.0f64;
+        while b < 4.3e9 {
+            bounds.push(b as u64);
+            b *= 1.04;
+        }
+        let n = bounds.len();
+        LatencyHistogram {
+            bounds,
+            counts: vec![0; n + 1],
+            total: 0,
+            sum_us: 0,
+            max_us: 0,
+        }
+    }
+
+    /// Records one latency observation in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        let idx = self.bounds.partition_point(|&b| b <= us);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum_us += us as u128;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.total as f64
+        }
+    }
+
+    /// Maximum recorded latency in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Approximate `q`-quantile in microseconds.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return if i == 0 {
+                    self.bounds.first().copied().unwrap_or(0)
+                } else if i >= self.bounds.len() {
+                    self.max_us
+                } else {
+                    self.bounds[i]
+                };
+            }
+        }
+        self.max_us
+    }
+
+    /// Merges another histogram (same construction) into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(
+            self.bounds.len(),
+            other.bounds.len(),
+            "histogram shapes differ"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_matches_batch() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        assert!((o.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((o.stddev() - stddev(&xs)).abs() < 1e-12);
+        assert_eq!(o.min(), Some(1.0));
+        assert_eq!(o.max(), Some(10.0));
+        assert_eq!(o.count(), 5);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_combined() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(37);
+        let mut sa = OnlineStats::new();
+        let mut sb = OnlineStats::new();
+        for &x in a {
+            sa.push(x);
+        }
+        for &x in b {
+            sb.push(x);
+        }
+        sa.merge(&sb);
+        assert!((sa.mean() - mean(&xs)).abs() < 1e-9);
+        assert!((sa.stddev() - stddev(&xs)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let o = OnlineStats::new();
+        assert_eq!(o.mean(), 0.0);
+        assert_eq!(o.stddev(), 0.0);
+        assert_eq!(o.min(), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=10_000u64 {
+            h.record_us(us);
+        }
+        let p50 = h.quantile_us(0.5) as f64;
+        assert!((p50 - 5000.0).abs() / 5000.0 < 0.06, "p50 = {p50}");
+        let p99 = h.quantile_us(0.99) as f64;
+        assert!((p99 - 9900.0).abs() / 9900.0 < 0.06, "p99 = {p99}");
+        assert_eq!(h.max_us(), 10_000);
+        assert!((h.mean_us() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_us(10);
+        b.record_us(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max_us(), 1000);
+    }
+}

@@ -1,0 +1,638 @@
+//! The embedded ESDB instance.
+
+use esdb_balancer::{BalancerConfig, LoadBalancer, WorkloadMonitor};
+use esdb_common::{
+    Clock, EsdbError, NodeId, RecordId, Result, ShardId, SharedClock, TenantId, TimestampMs,
+};
+use esdb_doc::{CollectionSchema, Document, WriteOp};
+use esdb_index::Segment;
+use esdb_query::aggregate::merge_results;
+use esdb_query::{execute_on_segments, parse_sql, translate, Expr, Query, QueryOptions, QueryRows};
+use esdb_routing::{
+    DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList, ShardSpan,
+};
+use esdb_storage::{ShardConfig, ShardEngine};
+use parking_lot::RwLock;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Which routing policy the instance uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// Plain hashing (single shard per tenant).
+    Hashing,
+    /// Static double hashing with offset `s`.
+    DoubleHashing(u32),
+    /// Dynamic secondary hashing with the load balancer (the ESDB default).
+    Dynamic,
+}
+
+/// Configuration for an embedded instance.
+#[derive(Debug, Clone)]
+pub struct EsdbConfig {
+    /// Root data directory (one subdirectory per shard).
+    pub data_dir: PathBuf,
+    /// Shard count.
+    pub n_shards: u32,
+    /// Routing policy.
+    pub routing: RoutingMode,
+    /// Run the load balancer every this many writes (0 = manual only).
+    pub balance_every_writes: u64,
+    /// Balancer tuning (hotspot threshold, offset policy).
+    pub balancer: BalancerConfig,
+    /// Auto-refresh shards whose buffer reaches this many docs (0 = manual
+    /// refresh).
+    pub refresh_buffer_docs: usize,
+}
+
+impl EsdbConfig {
+    /// Sensible embedded defaults: 16 shards, dynamic routing, balancing
+    /// every 5000 writes.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        let n_shards = 16;
+        EsdbConfig {
+            data_dir: data_dir.into(),
+            n_shards,
+            routing: RoutingMode::Dynamic,
+            balance_every_writes: 5_000,
+            balancer: BalancerConfig::new(n_shards, n_shards.div_ceil(4).max(1)),
+            refresh_buffer_docs: 0,
+        }
+    }
+
+    /// Overrides the shard count (also rescales the balancer).
+    pub fn shards(mut self, n: u32) -> Self {
+        self.n_shards = n;
+        self.balancer = BalancerConfig::new(n, n.div_ceil(4).max(1));
+        self
+    }
+
+    /// Overrides the routing mode.
+    pub fn routing(mut self, mode: RoutingMode) -> Self {
+        self.routing = mode;
+        self
+    }
+}
+
+enum Router {
+    Hash(HashRouting),
+    Double(DoubleHashRouting),
+    Dynamic(DynamicRouting),
+}
+
+impl Router {
+    fn route(&self, k1: TenantId, k2: RecordId, tc: TimestampMs) -> ShardId {
+        match self {
+            Router::Hash(r) => r.route_write(k1, k2, tc),
+            Router::Double(r) => r.route_write(k1, k2, tc),
+            Router::Dynamic(r) => r.route_write(k1, k2, tc),
+        }
+    }
+
+    fn span(&self, k1: TenantId, now: TimestampMs) -> ShardSpan {
+        match self {
+            Router::Hash(r) => r.read_span(k1, now),
+            Router::Double(r) => r.read_span(k1, now),
+            Router::Dynamic(r) => r.read_span(k1, now),
+        }
+    }
+}
+
+/// Instance-level statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EsdbStats {
+    /// Searchable documents across shards.
+    pub live_docs: usize,
+    /// Buffered (not yet searchable) documents.
+    pub buffered_docs: usize,
+    /// Total segments.
+    pub segments: usize,
+    /// Approximate bytes.
+    pub size_bytes: usize,
+    /// Committed secondary hashing rules.
+    pub rules: usize,
+    /// Writes applied.
+    pub writes: u64,
+    /// Queries executed.
+    pub queries: u64,
+}
+
+/// An embedded ESDB database.
+pub struct Esdb {
+    schema: CollectionSchema,
+    config: EsdbConfig,
+    shards: Vec<ShardEngine>,
+    rules: Arc<RwLock<RuleList>>,
+    router: Router,
+    monitor: WorkloadMonitor,
+    balancer: LoadBalancer,
+    clock: SharedClock,
+    writes_since_balance: u64,
+    writes_total: u64,
+    queries_total: u64,
+}
+
+impl Esdb {
+    /// Opens (or recovers) an instance rooted at `config.data_dir`.
+    pub fn open(schema: CollectionSchema, config: EsdbConfig) -> Result<Self> {
+        Self::open_with_clock(schema, config, SharedClock::real())
+    }
+
+    /// Opens with an explicit clock (tests use a manual clock so rule
+    /// effective times are deterministic).
+    pub fn open_with_clock(
+        schema: CollectionSchema,
+        config: EsdbConfig,
+        clock: SharedClock,
+    ) -> Result<Self> {
+        if config.n_shards == 0 {
+            return Err(EsdbError::Config("n_shards must be > 0".into()));
+        }
+        let mut shards = Vec::with_capacity(config.n_shards as usize);
+        for s in 0..config.n_shards {
+            let mut sc = ShardConfig::new(config.data_dir.join(format!("shard-{s:04}")));
+            sc.refresh_buffer_docs = config.refresh_buffer_docs;
+            shards.push(ShardEngine::open(schema.clone(), sc)?);
+        }
+        let rules = Arc::new(RwLock::new(RuleList::new()));
+        let router = match config.routing {
+            RoutingMode::Hashing => Router::Hash(HashRouting::new(config.n_shards)),
+            RoutingMode::DoubleHashing(s) => {
+                Router::Double(DoubleHashRouting::new(config.n_shards, s))
+            }
+            RoutingMode::Dynamic => {
+                Router::Dynamic(DynamicRouting::with_rules(config.n_shards, rules.clone()))
+            }
+        };
+        let balancer = LoadBalancer::new(config.balancer);
+        Ok(Esdb {
+            schema,
+            shards,
+            rules,
+            router,
+            monitor: WorkloadMonitor::new(),
+            balancer,
+            clock,
+            writes_since_balance: 0,
+            writes_total: 0,
+            queries_total: 0,
+            config,
+        })
+    }
+
+    /// The collection schema.
+    pub fn schema(&self) -> &CollectionSchema {
+        &self.schema
+    }
+
+    /// Inserts a document, returning the shard it was routed to.
+    pub fn insert(&mut self, doc: Document) -> Result<ShardId> {
+        self.write(WriteOp::insert(doc))
+    }
+
+    /// Updates an existing record (routing triple must match the original
+    /// creation time, §4.2).
+    pub fn update(&mut self, doc: Document) -> Result<ShardId> {
+        self.write(WriteOp::update(doc))
+    }
+
+    /// Deletes a record by routing triple.
+    pub fn delete(
+        &mut self,
+        tenant: TenantId,
+        record: RecordId,
+        created_at: TimestampMs,
+    ) -> Result<ShardId> {
+        self.write(WriteOp::delete(tenant, record, created_at))
+    }
+
+    /// Flushes a [`crate::WriteBatcher`]'s coalesced operations into the
+    /// database (the write-client workload-batching path, §3.1). Returns
+    /// how many operations were actually applied.
+    pub fn write_batch(&mut self, batcher: &mut crate::WriteBatcher) -> Result<usize> {
+        let ops = batcher.flush();
+        let n = ops.len();
+        for op in ops {
+            self.write(op)?;
+        }
+        Ok(n)
+    }
+
+    /// Applies a raw write operation.
+    pub fn write(&mut self, op: WriteOp) -> Result<ShardId> {
+        let (tenant, record, created_at) = op.routing();
+        let shard = self.router.route(tenant, record, created_at);
+        let bytes = op.doc.approx_size() as u64;
+        self.shards[shard.index()].apply(&op)?;
+        self.monitor
+            .record_write(tenant, shard, NodeId(shard.0 % 4), bytes);
+        self.writes_total += 1;
+        self.writes_since_balance += 1;
+        if self.config.balance_every_writes > 0
+            && self.writes_since_balance >= self.config.balance_every_writes
+        {
+            self.rebalance();
+        }
+        Ok(shard)
+    }
+
+    /// Runs one balancing pass now (Algorithm 1 runtime phase): detect
+    /// hotspots in the monitor window, commit grow-rules effective
+    /// immediately for *future* records.
+    pub fn rebalance(&mut self) -> usize {
+        self.writes_since_balance = 0;
+        if !matches!(self.config.routing, RoutingMode::Dynamic) {
+            return 0;
+        }
+        let period = self.monitor.take_period();
+        let proposals = self.balancer.on_period(&period);
+        let committed = proposals.len();
+        if committed > 0 {
+            let t = self.clock.now();
+            let mut rules = self.rules.write();
+            LoadBalancer::commit_direct(&proposals, &mut rules, t);
+        }
+        committed
+    }
+
+    /// Makes all buffered writes searchable (near-real-time refresh).
+    pub fn refresh(&mut self) {
+        for s in &mut self.shards {
+            s.refresh();
+        }
+    }
+
+    /// Durably flushes all shards (segments + commit points, translog
+    /// roll).
+    pub fn flush(&mut self) -> Result<()> {
+        for s in &mut self.shards {
+            s.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Runs the merge policy on every shard; returns merges performed.
+    pub fn merge(&mut self) -> usize {
+        self.shards
+            .iter_mut()
+            .filter_map(|s| s.maybe_merge())
+            .count()
+    }
+
+    /// Executes a SQL query (parse → Xdriver4ES translate → route to the
+    /// tenant's shard span → optimize → execute → aggregate).
+    pub fn query(&mut self, sql: &str) -> Result<QueryRows> {
+        self.query_opts(sql, QueryOptions::default())
+    }
+
+    /// Executes SQL with explicit options (the Fig. 17 harness turns the
+    /// optimizer off through this).
+    pub fn query_opts(&mut self, sql: &str, opts: QueryOptions) -> Result<QueryRows> {
+        let query = translate(parse_sql(sql)?);
+        if query.table != self.schema.name {
+            return Err(EsdbError::UnknownCollection(query.table));
+        }
+        self.queries_total += 1;
+        // Record sub-attribute usage for frequency-based indexing.
+        record_attr_usage(&query.filter, &mut self.shards);
+        let span = self.route_query(&query);
+        let shard_results: Vec<QueryRows> = span
+            .iter()
+            .map(|shard| {
+                let engine = &self.shards[shard.index()];
+                let segs: Vec<&Segment> = engine.segments().iter().collect();
+                execute_on_segments(&query, &self.schema, &segs, opts)
+            })
+            .collect();
+        Ok(merge_results(
+            shard_results,
+            query.order_by.as_ref(),
+            query.limit,
+        ))
+    }
+
+    /// The shard span a query will fan out to: the tenant's span when the
+    /// filter pins `tenant_id`, otherwise every shard.
+    fn route_query(&self, query: &Query) -> ShardSpan {
+        match extract_tenant(&query.filter) {
+            Some(tenant) => self.router.span(tenant, self.clock.now()),
+            None => ShardSpan::new(0, self.config.n_shards, self.config.n_shards),
+        }
+    }
+
+    /// The read span for a tenant right now.
+    pub fn read_span(&self, tenant: TenantId) -> ShardSpan {
+        self.router.span(tenant, self.clock.now())
+    }
+
+    /// Snapshot of committed rules (for inspection).
+    pub fn rule_count(&self) -> usize {
+        self.rules.read().len()
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> EsdbStats {
+        let mut s = EsdbStats {
+            rules: self.rule_count(),
+            writes: self.writes_total,
+            queries: self.queries_total,
+            ..EsdbStats::default()
+        };
+        for sh in &self.shards {
+            let st = sh.stats();
+            s.live_docs += st.live_docs;
+            s.buffered_docs += st.buffered_docs;
+            s.segments += st.segments;
+            s.size_bytes += st.size_bytes;
+        }
+        s
+    }
+
+    /// Per-shard live-doc counts (for balance inspection).
+    pub fn shard_doc_counts(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.stats().live_docs).collect()
+    }
+}
+
+/// Finds a `tenant_id = <n>` equality that holds for *every* match of the
+/// filter (top level or present in every OR branch).
+fn extract_tenant(e: &Expr) -> Option<TenantId> {
+    match e {
+        Expr::Eq(col, v) if col == "tenant_id" => v.as_int().map(|i| TenantId(i as u64)),
+        Expr::And(cs) => cs.iter().find_map(extract_tenant),
+        Expr::Or(cs) => {
+            let tenants: Vec<Option<TenantId>> = cs.iter().map(extract_tenant).collect();
+            let first = tenants.first().copied().flatten()?;
+            tenants.iter().all(|t| *t == Some(first)).then_some(first)
+        }
+        _ => None,
+    }
+}
+
+fn record_attr_usage(e: &Expr, shards: &mut [ShardEngine]) {
+    fn collect<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+        match e {
+            Expr::AttrEq(name, _) => out.push(name),
+            Expr::And(cs) | Expr::Or(cs) => {
+                for c in cs {
+                    collect(c, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut names = Vec::new();
+    collect(e, &mut names);
+    if names.is_empty() {
+        return;
+    }
+    for s in shards.iter_mut() {
+        for n in &names {
+            s.attr_tracker_mut().record(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esdb_common::ManualClock;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("esdb-core-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn open(name: &str, cfg: impl FnOnce(EsdbConfig) -> EsdbConfig) -> (Esdb, Arc<ManualClock>) {
+        let (clock, driver) = SharedClock::manual(1_000_000);
+        let db = Esdb::open_with_clock(
+            CollectionSchema::transaction_logs(),
+            cfg(EsdbConfig::new(tmpdir(name))),
+            clock,
+        )
+        .unwrap();
+        (db, driver)
+    }
+
+    fn doc(tenant: u64, record: u64, at: TimestampMs) -> Document {
+        Document::builder(TenantId(tenant), RecordId(record), at)
+            .field("status", (record % 2) as i64)
+            .field("group", (record % 5) as i64)
+            .field("auction_title", format!("item number {record}"))
+            .build()
+    }
+
+    #[test]
+    fn insert_refresh_query_roundtrip() {
+        let (mut db, _) = open("roundtrip", |c| c);
+        for r in 0..50 {
+            db.insert(doc(10086, r, 1_000 + r)).unwrap();
+        }
+        db.refresh();
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 10086 AND status = 1")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 25);
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 10086 ORDER BY created_time DESC LIMIT 3")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 3);
+        assert_eq!(rows.docs[0].record_id, RecordId(49));
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let (mut db, _) = open("badtable", |c| c);
+        assert!(matches!(
+            db.query("SELECT * FROM nope"),
+            Err(EsdbError::UnknownCollection(_))
+        ));
+    }
+
+    #[test]
+    fn cold_tenant_stays_on_one_shard() {
+        let (mut db, _) = open("cold", |c| c);
+        let mut shards = std::collections::HashSet::new();
+        for r in 0..20 {
+            shards.insert(db.insert(doc(5, r, 2_000 + r)).unwrap());
+        }
+        assert_eq!(shards.len(), 1, "cold tenant must not spread");
+        assert_eq!(db.read_span(TenantId(5)).len, 1);
+    }
+
+    #[test]
+    fn hot_tenant_spreads_after_rebalance_and_stays_readable() {
+        let (mut db, driver) = open("hot", |c| c.shards(16));
+        // Hot tenant dominates the monitor window.
+        for r in 0..3_000u64 {
+            let tenant = if r % 10 < 9 { 777 } else { 1_000 + r };
+            db.insert(doc(tenant, r, driver.now() - 1)).unwrap();
+        }
+        db.rebalance();
+        driver.advance(10);
+        let span = db.read_span(TenantId(777));
+        assert!(span.len > 1, "hot tenant should spread, span {span:?}");
+        // New writes spread across the span.
+        let mut new_shards = std::collections::HashSet::new();
+        for r in 10_000..10_200u64 {
+            let t = driver.now();
+            new_shards.insert(db.insert(doc(777, r, t)).unwrap());
+            driver.advance(1);
+        }
+        assert!(new_shards.len() > 1, "writes should hit multiple shards");
+        db.refresh();
+        // Read-your-writes: all 2700 old + 200 new rows visible.
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 777")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 2_700 + 200);
+    }
+
+    #[test]
+    fn updates_route_to_original_shard_after_rule_change() {
+        let (mut db, driver) = open("update-after-rule", |c| c.shards(16));
+        let created = driver.now() - 1;
+        let shard_before = db.insert(doc(42, 1, created)).unwrap();
+        // Force a rule for tenant 42 by making it hot.
+        for r in 100..2_100u64 {
+            db.insert(doc(42, r, driver.now() - 1)).unwrap();
+        }
+        db.rebalance();
+        driver.advance(10);
+        assert!(db.read_span(TenantId(42)).len > 1);
+        // Update the original record: same routing triple → same shard.
+        let shard_after = db
+            .update(
+                Document::builder(TenantId(42), RecordId(1), created)
+                    .field("status", 9i64)
+                    .build(),
+            )
+            .unwrap();
+        assert_eq!(
+            shard_before, shard_after,
+            "update must follow the original rule"
+        );
+        db.refresh();
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 42 AND status = 9")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 1);
+        assert_eq!(rows.docs[0].record_id, RecordId(1));
+    }
+
+    #[test]
+    fn delete_across_rule_change() {
+        let (mut db, driver) = open("delete-after-rule", |c| c.shards(16));
+        let created = driver.now() - 1;
+        db.insert(doc(42, 1, created)).unwrap();
+        for r in 100..2_100u64 {
+            db.insert(doc(42, r, driver.now() - 1)).unwrap();
+        }
+        db.rebalance();
+        driver.advance(10);
+        db.delete(TenantId(42), RecordId(1), created).unwrap();
+        db.refresh();
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 42 AND record_id = 1")
+            .unwrap();
+        assert!(rows.docs.is_empty(), "deleted record must not resurface");
+    }
+
+    #[test]
+    fn queries_without_tenant_fan_out_everywhere() {
+        let (mut db, _) = open("fanout", |c| c.shards(8));
+        for t in 0..20u64 {
+            db.insert(doc(t, t, 3_000 + t)).unwrap();
+        }
+        db.refresh();
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE status = 0")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 10);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dir = tmpdir("persist");
+        {
+            let mut db = Esdb::open(
+                CollectionSchema::transaction_logs(),
+                EsdbConfig::new(&dir).shards(4),
+            )
+            .unwrap();
+            for r in 0..40 {
+                db.insert(doc(9, r, 5_000 + r)).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let mut db = Esdb::open(
+            CollectionSchema::transaction_logs(),
+            EsdbConfig::new(&dir).shards(4),
+        )
+        .unwrap();
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 9")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 40, "all rows recovered after reopen");
+    }
+
+    #[test]
+    fn hashing_and_double_modes_work() {
+        let (mut db, _) = open("hashmode", |c| c.routing(RoutingMode::Hashing).shards(8));
+        for r in 0..10 {
+            db.insert(doc(3, r, 100 + r)).unwrap();
+        }
+        assert_eq!(db.read_span(TenantId(3)).len, 1);
+        assert_eq!(db.rebalance(), 0, "balancer inert outside dynamic mode");
+
+        let (mut db2, _) = open("dblmode", |c| {
+            c.routing(RoutingMode::DoubleHashing(4)).shards(8)
+        });
+        let mut shards = std::collections::HashSet::new();
+        for r in 0..50 {
+            shards.insert(db2.insert(doc(3, r, 100 + r)).unwrap());
+        }
+        assert_eq!(db2.read_span(TenantId(3)).len, 4);
+        assert!(shards.len() > 1);
+    }
+
+    #[test]
+    fn stats_reflect_state() {
+        let (mut db, _) = open("stats", |c| c.shards(4));
+        for r in 0..30 {
+            db.insert(doc(1, r, 100 + r)).unwrap();
+        }
+        let s = db.stats();
+        assert_eq!(s.writes, 30);
+        assert_eq!(s.buffered_docs, 30);
+        assert_eq!(s.live_docs, 0);
+        db.refresh();
+        let s = db.stats();
+        assert_eq!(s.live_docs, 30);
+        assert_eq!(s.buffered_docs, 0);
+        let total: usize = db.shard_doc_counts().iter().sum();
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn extract_tenant_from_or_branches() {
+        use esdb_doc::FieldValue;
+        let same = Expr::Or(vec![
+            Expr::And(vec![
+                Expr::Eq("tenant_id".into(), FieldValue::Int(7)),
+                Expr::Eq("status".into(), FieldValue::Int(1)),
+            ]),
+            Expr::And(vec![
+                Expr::Eq("tenant_id".into(), FieldValue::Int(7)),
+                Expr::Eq("group".into(), FieldValue::Int(2)),
+            ]),
+        ]);
+        assert_eq!(extract_tenant(&same), Some(TenantId(7)));
+        let mixed = Expr::Or(vec![
+            Expr::Eq("tenant_id".into(), FieldValue::Int(7)),
+            Expr::Eq("tenant_id".into(), FieldValue::Int(8)),
+        ]);
+        assert_eq!(extract_tenant(&mixed), None, "different tenants → fan out");
+    }
+}

@@ -1,0 +1,23 @@
+//! Schema-flexible document model for ESDB-RS.
+//!
+//! ESDB stores *transaction logs*: documents with a structured part
+//! (transaction ID, seller ID, created time, status, ...) plus a free-form
+//! `attributes` column holding up to ~1500 merchant-defined sub-attributes
+//! (paper §1, §2.1). This crate provides:
+//!
+//! * [`value::FieldValue`] — the typed value model with a total order and an
+//!   **order-preserving byte encoding** (used by the composite index),
+//! * [`document::Document`] — the document itself, including the routing
+//!   triple *(tenant ID, record ID, created time)* required by §4.2,
+//! * [`schema::CollectionSchema`] — per-collection field/type/index
+//!   declarations: which fields get inverted indexes, doc values, composite
+//!   indexes, or sequential-scan treatment (paper §5.1), and the
+//!   frequency-based sub-attribute indexing policy (§3.2).
+
+pub mod document;
+pub mod schema;
+pub mod value;
+
+pub use document::{Document, DocumentBuilder, WriteKind, WriteOp};
+pub use schema::{CollectionSchema, CompositeIndexDef, FieldDef, FieldType, SchemaBuilder};
+pub use value::FieldValue;

@@ -1,0 +1,345 @@
+//! Posting lists and their algebra.
+//!
+//! A posting list is a strictly-increasing sequence of segment-local doc
+//! IDs. Query plans (paper Fig. 7/8) are trees of intersections and unions
+//! over posting lists; their cost is dominated by list lengths, which is
+//! exactly the overhead the paper's optimizer attacks, so the algebra here
+//! is implemented with the standard adaptive techniques (galloping
+//! intersection, k-way union).
+
+use crate::segment::DocId;
+
+/// A sorted, deduplicated list of doc IDs.
+///
+/// ```
+/// use esdb_index::PostingList;
+///
+/// let a = PostingList::from_unsorted(vec![3, 1, 2]);
+/// let b = PostingList::from_unsorted(vec![2, 3, 4]);
+/// assert_eq!(a.intersect(&b).ids(), &[2, 3]);
+/// assert_eq!(a.union(&b).ids(), &[1, 2, 3, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PostingList {
+    ids: Vec<DocId>,
+}
+
+impl PostingList {
+    /// The empty list.
+    pub fn new() -> Self {
+        PostingList { ids: Vec::new() }
+    }
+
+    /// Builds from a vector that is already sorted and unique
+    /// (debug-asserted).
+    pub fn from_sorted(ids: Vec<DocId>) -> Self {
+        debug_assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "ids must be strictly increasing"
+        );
+        PostingList { ids }
+    }
+
+    /// Builds from arbitrary ids (sorts + dedups).
+    pub fn from_unsorted(mut ids: Vec<DocId>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        PostingList { ids }
+    }
+
+    /// Appends an id that must be larger than the current tail (index
+    /// build path).
+    pub fn push(&mut self, id: DocId) {
+        debug_assert!(self.ids.last().map_or(true, |&l| l < id));
+        self.ids.push(id);
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The raw sorted ids.
+    pub fn ids(&self) -> &[DocId] {
+        &self.ids
+    }
+
+    /// Iterates doc ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = DocId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Whether `id` is present (binary search).
+    pub fn contains(&self, id: DocId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Intersection with galloping search when the lists' sizes are
+    /// lopsided (the common case when one predicate is much more selective,
+    /// which is what composite indexes produce).
+    pub fn intersect(&self, other: &PostingList) -> PostingList {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if small.is_empty() {
+            return PostingList::new();
+        }
+        let mut out = Vec::with_capacity(small.len());
+        if large.len() / small.len().max(1) >= 8 {
+            // Galloping: for each id in the small list, exponential +
+            // binary search in the large one.
+            let mut lo = 0usize;
+            for &id in &small.ids {
+                let mut step = 1usize;
+                let mut hi = lo;
+                while hi < large.ids.len() && large.ids[hi] < id {
+                    lo = hi;
+                    hi = (hi + step).min(large.ids.len());
+                    step *= 2;
+                }
+                // The match may sit at `hi` itself (the probe that stopped
+                // the gallop) or at `lo` (carried over from the previous
+                // iteration), so search the inclusive range [lo, hi].
+                let end = if hi < large.ids.len() {
+                    hi + 1
+                } else {
+                    large.ids.len()
+                };
+                match large.ids[lo..end].binary_search(&id) {
+                    Ok(i) => {
+                        out.push(id);
+                        lo += i + 1;
+                    }
+                    Err(i) => lo += i,
+                }
+                if lo >= large.ids.len() {
+                    break;
+                }
+            }
+        } else {
+            // Linear merge.
+            let (mut i, mut j) = (0, 0);
+            while i < small.ids.len() && j < large.ids.len() {
+                match small.ids[i].cmp(&large.ids[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        out.push(small.ids[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        PostingList { ids: out }
+    }
+
+    /// Union by linear merge.
+    pub fn union(&self, other: &PostingList) -> PostingList {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.ids[i..]);
+        out.extend_from_slice(&other.ids[j..]);
+        PostingList { ids: out }
+    }
+
+    /// `self \ other`.
+    pub fn difference(&self, other: &PostingList) -> PostingList {
+        let mut out = Vec::with_capacity(self.len());
+        let mut j = 0usize;
+        for &id in &self.ids {
+            while j < other.ids.len() && other.ids[j] < id {
+                j += 1;
+            }
+            if j >= other.ids.len() || other.ids[j] != id {
+                out.push(id);
+            }
+        }
+        PostingList { ids: out }
+    }
+
+    /// K-way intersection, smallest lists first (the optimizer's ordering).
+    pub fn intersect_many(lists: &[&PostingList]) -> PostingList {
+        match lists.len() {
+            0 => PostingList::new(),
+            1 => lists[0].clone(),
+            _ => {
+                let mut order: Vec<&&PostingList> = lists.iter().collect();
+                order.sort_by_key(|l| l.len());
+                let mut acc = (*order[0]).clone();
+                for l in &order[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = acc.intersect(l);
+                }
+                acc
+            }
+        }
+    }
+
+    /// K-way union by repeated pairwise merge (balanced).
+    pub fn union_many(lists: &[&PostingList]) -> PostingList {
+        match lists.len() {
+            0 => PostingList::new(),
+            1 => lists[0].clone(),
+            _ => {
+                let mut acc: Vec<PostingList> = lists.iter().map(|l| (*l).clone()).collect();
+                while acc.len() > 1 {
+                    let mut next = Vec::with_capacity(acc.len().div_ceil(2));
+                    let mut it = acc.chunks(2);
+                    for pair in &mut it {
+                        next.push(if pair.len() == 2 {
+                            pair[0].union(&pair[1])
+                        } else {
+                            pair[0].clone()
+                        });
+                    }
+                    acc = next;
+                }
+                acc.pop().expect("non-empty")
+            }
+        }
+    }
+}
+
+impl FromIterator<DocId> for PostingList {
+    fn from_iter<T: IntoIterator<Item = DocId>>(iter: T) -> Self {
+        PostingList::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    fn pl(ids: &[u32]) -> PostingList {
+        PostingList::from_unsorted(ids.to_vec())
+    }
+
+    #[test]
+    fn basic_algebra() {
+        let a = pl(&[1, 2, 3, 4]);
+        let b = pl(&[2, 3, 4, 5]);
+        assert_eq!(a.intersect(&b), pl(&[2, 3, 4]));
+        assert_eq!(a.union(&b), pl(&[1, 2, 3, 4, 5]));
+        assert_eq!(a.difference(&b), pl(&[1]));
+        assert_eq!(b.difference(&a), pl(&[5]));
+    }
+
+    #[test]
+    fn paper_fig7_example() {
+        // A∩B∩C = D, D∪E = F from the paper's Lucene plan example.
+        let a = pl(&[1, 2, 3, 4]);
+        let b = pl(&[2, 3, 4, 5]);
+        let c = pl(&[3, 4, 5]);
+        let d = PostingList::intersect_many(&[&a, &b, &c]);
+        assert_eq!(d, pl(&[3, 4]));
+        let e = pl(&[6]);
+        assert_eq!(d.union(&e), pl(&[3, 4, 6]));
+    }
+
+    #[test]
+    fn galloping_path_exercised() {
+        let small = pl(&[100, 5_000, 99_999]);
+        let large = PostingList::from_sorted((0..100_000).collect());
+        assert_eq!(small.intersect(&large), small);
+        let missing = pl(&[200_000]);
+        assert!(missing.intersect(&large).is_empty());
+    }
+
+    #[test]
+    fn empty_interactions() {
+        let e = PostingList::new();
+        let a = pl(&[1, 2]);
+        assert!(e.intersect(&a).is_empty());
+        assert_eq!(e.union(&a), a);
+        assert!(PostingList::intersect_many(&[]).is_empty());
+        assert!(PostingList::union_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let a = pl(&[10, 20, 30]);
+        assert!(a.contains(20));
+        assert!(!a.contains(25));
+    }
+
+    fn arb_ids() -> impl Strategy<Value = Vec<u32>> {
+        proptest::collection::vec(0u32..500, 0..200)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intersect_matches_sets(a in arb_ids(), b in arb_ids()) {
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let expect: Vec<u32> = sa.intersection(&sb).copied().collect();
+            let got = pl(&a).intersect(&pl(&b));
+            prop_assert_eq!(got.ids(), expect.as_slice());
+        }
+
+        #[test]
+        fn prop_union_matches_sets(a in arb_ids(), b in arb_ids()) {
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let expect: Vec<u32> = sa.union(&sb).copied().collect();
+            let got = pl(&a).union(&pl(&b));
+            prop_assert_eq!(got.ids(), expect.as_slice());
+        }
+
+        #[test]
+        fn prop_difference_matches_sets(a in arb_ids(), b in arb_ids()) {
+            let sa: BTreeSet<u32> = a.iter().copied().collect();
+            let sb: BTreeSet<u32> = b.iter().copied().collect();
+            let expect: Vec<u32> = sa.difference(&sb).copied().collect();
+            let got = pl(&a).difference(&pl(&b));
+            prop_assert_eq!(got.ids(), expect.as_slice());
+        }
+
+        #[test]
+        fn prop_many_way_ops(lists in proptest::collection::vec(arb_ids(), 1..6)) {
+            let pls: Vec<PostingList> = lists.iter().map(|l| pl(l)).collect();
+            let refs: Vec<&PostingList> = pls.iter().collect();
+            let mut inter: BTreeSet<u32> = lists[0].iter().copied().collect();
+            let mut uni: BTreeSet<u32> = BTreeSet::new();
+            for l in &lists {
+                let s: BTreeSet<u32> = l.iter().copied().collect();
+                inter = inter.intersection(&s).copied().collect();
+                uni.extend(s);
+            }
+            let iv: Vec<u32> = inter.into_iter().collect();
+            let uv: Vec<u32> = uni.into_iter().collect();
+            let gi = PostingList::intersect_many(&refs);
+            prop_assert_eq!(gi.ids(), iv.as_slice());
+            let gu = PostingList::union_many(&refs);
+            prop_assert_eq!(gu.ids(), uv.as_slice());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! The unoptimized Lucene plan (paper Fig. 7) — the baseline ESDB's query
+//! optimizer is evaluated against (§6.3.2).
+//!
+//! Lucene "generates posting lists for each column by searching the
+//! corresponding indices, then aggregates the posting lists through
+//! intersections and unions": no composite indexes, no sequential scans —
+//! every predicate pays for a full index search, however unselective.
+
+use crate::ast::Expr;
+use crate::plan::Plan;
+
+/// Builds the naive plan: one index search per leaf, intersect for AND,
+/// union for OR.
+pub fn naive_plan(expr: &Expr) -> Plan {
+    match expr {
+        Expr::True => Plan::All,
+        Expr::Or(bs) if bs.is_empty() => Plan::Empty,
+        Expr::And(ps) => Plan::Intersect(ps.iter().map(naive_plan).collect()),
+        Expr::Or(ps) => Plan::Union(ps.iter().map(naive_plan).collect()),
+        leaf => Plan::IndexPredicate(leaf.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Bound;
+    use esdb_doc::FieldValue;
+
+    #[test]
+    fn fig7_shape() {
+        // (tenant AND time AND status) OR group — four index searches.
+        let e = Expr::Or(vec![
+            Expr::And(vec![
+                Expr::Eq("tenant_id".into(), FieldValue::Int(10086)),
+                Expr::Range(
+                    "created_time".into(),
+                    Bound::Included(FieldValue::Timestamp(0)),
+                    Bound::Included(FieldValue::Timestamp(10)),
+                ),
+                Expr::Eq("status".into(), FieldValue::Int(1)),
+            ]),
+            Expr::Eq("group".into(), FieldValue::Int(666)),
+        ]);
+        let p = naive_plan(&e);
+        assert!(!p.uses_composite());
+        match &p {
+            Plan::Union(bs) => {
+                assert!(matches!(&bs[0], Plan::Intersect(ps) if ps.len() == 3));
+                assert!(matches!(&bs[1], Plan::IndexPredicate(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.operator_count(), 6);
+    }
+
+    #[test]
+    fn leaves_become_index_predicates() {
+        let e = Expr::Eq("a".into(), FieldValue::Int(1));
+        assert_eq!(naive_plan(&e), Plan::IndexPredicate(e));
+        assert_eq!(naive_plan(&Expr::True), Plan::All);
+        assert_eq!(naive_plan(&Expr::Or(vec![])), Plan::Empty);
+    }
+}

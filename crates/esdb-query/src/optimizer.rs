@@ -1,0 +1,331 @@
+//! ESDB's rule-based optimizer (§5.1, "Rule-based optimizer").
+//!
+//! Access-path rules for a conjunction, in order:
+//!
+//! 1. **Composite index** — predicates on the leftmost columns of a
+//!    composite index (equalities, optionally followed by one range on the
+//!    next column). *Longest match* picks the composite covering the most
+//!    predicates.
+//! 2. **Sequential scan** — remaining AND-predicates on scan-list columns
+//!    become doc-value scan filters over the base posting list.
+//! 3. **Single-column index** — remaining indexed columns (and OR-connected
+//!    predicates) get their own index searches.
+//!
+//! Anything not coverable by an index (Ne, undeclared columns, non-indexed
+//! sub-attributes) becomes a scan-filter residual, keeping plans exact.
+
+use crate::ast::{Bound, Expr};
+use crate::plan::Plan;
+use esdb_doc::{CollectionSchema, FieldType, FieldValue};
+
+/// Coerces a literal to the column's declared type so its order-preserving
+/// encoding matches what the composite index stored (numeric SQL literals
+/// parse as `Int` even when the column is a `Timestamp`).
+fn coerce_to_field(schema: &CollectionSchema, col: &str, v: FieldValue) -> FieldValue {
+    match (schema.field(col).map(|f| f.ty), v) {
+        (Some(FieldType::Timestamp), FieldValue::Int(i)) if i >= 0 => {
+            FieldValue::Timestamp(i as u64)
+        }
+        (Some(FieldType::Long), FieldValue::Timestamp(t)) if t <= i64::MAX as u64 => {
+            FieldValue::Int(t as i64)
+        }
+        (_, v) => v,
+    }
+}
+
+fn coerce_bound(schema: &CollectionSchema, col: &str, b: Bound) -> Bound {
+    match b {
+        Bound::Unbounded => Bound::Unbounded,
+        Bound::Included(v) => Bound::Included(coerce_to_field(schema, col, v)),
+        Bound::Excluded(v) => Bound::Excluded(coerce_to_field(schema, col, v)),
+    }
+}
+
+/// Builds the optimized plan for a (normalized) filter expression.
+pub fn optimize(expr: &Expr, schema: &CollectionSchema) -> Plan {
+    match expr {
+        Expr::True => Plan::All,
+        Expr::Or(branches) if branches.is_empty() => Plan::Empty,
+        Expr::Or(branches) => Plan::Union(branches.iter().map(|b| optimize(b, schema)).collect()),
+        Expr::And(preds) => plan_conjunction(preds, schema),
+        single => plan_conjunction(std::slice::from_ref(single), schema),
+    }
+}
+
+/// Classifies how one predicate can be served.
+enum Access {
+    SingleIndex,
+    Scan,
+    Residual,
+}
+
+fn classify(pred: &Expr, schema: &CollectionSchema) -> Access {
+    match pred {
+        Expr::Eq(col, _) | Expr::In(col, _) | Expr::Range(col, _, _) => {
+            if schema.in_scan_list(col) && schema.field(col).map(|f| f.doc_values).unwrap_or(false)
+            {
+                Access::Scan
+            } else if schema.field(col).map(|f| f.indexed).unwrap_or(false) {
+                Access::SingleIndex
+            } else {
+                Access::Residual
+            }
+        }
+        Expr::Match(col, _) => {
+            if schema.field(col).map(|f| f.indexed).unwrap_or(false) {
+                Access::SingleIndex
+            } else {
+                Access::Residual
+            }
+        }
+        // Attribute predicates become scan filters over the base plan: the
+        // executor uses the frequency-based attr index when the segment has
+        // one (intersecting with the input) and a bounded stored-field scan
+        // otherwise — never an unbounded full scan.
+        Expr::AttrEq(_, _) => Access::Scan,
+        Expr::Ne(_, _) => Access::Residual,
+        Expr::And(_) | Expr::Or(_) | Expr::True => Access::Residual,
+    }
+}
+
+fn plan_conjunction(preds: &[Expr], schema: &CollectionSchema) -> Plan {
+    // Nested Or inside the conjunction (normalize keeps one level when it
+    // can't merge): plan it as a sub-union intersected with the rest.
+    let mut sub_plans: Vec<Plan> = Vec::new();
+    let mut flat: Vec<&Expr> = Vec::new();
+    for p in preds {
+        match p {
+            Expr::Or(bs) if bs.is_empty() => return Plan::Empty,
+            Expr::Or(_) | Expr::And(_) => sub_plans.push(optimize(p, schema)),
+            Expr::True => {}
+            other => flat.push(other),
+        }
+    }
+
+    // Step 1: composite selection with longest-match.
+    let mut best: Option<(usize, usize, bool)> = None; // (def idx, eq cols, has range)
+    for (di, def) in schema.composite_indexes.iter().enumerate() {
+        let mut eq_cols = 0usize;
+        for col in &def.columns {
+            if flat.iter().any(|p| matches!(p, Expr::Eq(c, _) if c == col)) {
+                eq_cols += 1;
+            } else {
+                break;
+            }
+        }
+        let has_range = def
+            .columns
+            .get(eq_cols)
+            .map(|col| {
+                flat.iter()
+                    .any(|p| matches!(p, Expr::Range(c, _, _) if c == col))
+            })
+            .unwrap_or(false);
+        let score = eq_cols * 2 + has_range as usize;
+        if eq_cols == 0 || score == 0 {
+            continue;
+        }
+        if best.map_or(true, |(bi, beq, br)| {
+            score > beq * 2 + br as usize || (score == beq * 2 + br as usize && di < bi)
+        }) {
+            best = Some((di, eq_cols, has_range));
+        }
+    }
+
+    let mut consumed: Vec<bool> = vec![false; flat.len()];
+    if let Some((di, eq_cols, has_range)) = best {
+        let def = &schema.composite_indexes[di];
+        let mut eq: Vec<(String, FieldValue)> = Vec::with_capacity(eq_cols);
+        for col in def.columns.iter().take(eq_cols) {
+            let (pi, value) = flat
+                .iter()
+                .enumerate()
+                .find_map(|(i, p)| match p {
+                    Expr::Eq(c, v) if c == col => Some((i, v.clone())),
+                    _ => None,
+                })
+                .expect("matched above");
+            consumed[pi] = true;
+            eq.push((col.clone(), coerce_to_field(schema, col, value)));
+        }
+        let range = if has_range {
+            let col = &def.columns[eq_cols];
+            flat.iter().enumerate().find_map(|(i, p)| match p {
+                Expr::Range(c, lo, hi) if c == col => {
+                    consumed[i] = true;
+                    Some((
+                        c.clone(),
+                        coerce_bound(schema, c, lo.clone()),
+                        coerce_bound(schema, c, hi.clone()),
+                    ))
+                }
+                _ => None,
+            })
+        } else {
+            None
+        };
+        sub_plans.push(Plan::CompositeScan {
+            index: def.name.clone(),
+            eq,
+            range,
+        });
+    }
+
+    // Steps 2–3: classify the remainder.
+    let mut scan_preds: Vec<Expr> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for (i, p) in flat.iter().enumerate() {
+        if consumed[i] {
+            continue;
+        }
+        match classify(p, schema) {
+            Access::SingleIndex => sub_plans.push(Plan::IndexPredicate((*p).clone())),
+            Access::Scan => scan_preds.push((*p).clone()),
+            Access::Residual => residual.push((*p).clone()),
+        }
+    }
+
+    let base = match sub_plans.len() {
+        0 => Plan::All,
+        1 => sub_plans.pop().expect("one plan"),
+        _ => Plan::Intersect(sub_plans),
+    };
+
+    let mut filters = scan_preds;
+    filters.extend(residual);
+    if filters.is_empty() {
+        base
+    } else {
+        Plan::ScanFilter {
+            input: Box::new(base),
+            predicates: filters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parse_sql;
+    use crate::xdriver::translate;
+
+    fn plan_of(sql: &str) -> Plan {
+        let q = translate(parse_sql(sql).unwrap());
+        optimize(&q.filter, &CollectionSchema::transaction_logs())
+    }
+
+    #[test]
+    fn paper_fig8_plan_shape() {
+        // The paper's example query (Fig. 6) must plan as Fig. 8: a
+        // composite scan on tenant_id_created_time, a doc-value scan on
+        // status, unioned with a single index search on group.
+        let p = plan_of(
+            "SELECT * FROM transaction_logs WHERE tenant_id = 10086 \
+             AND created_time >= '2021-09-16 00:00:00' \
+             AND created_time <= '2021-09-17 00:00:00' \
+             AND status = 1 OR group = 666",
+        );
+        match &p {
+            Plan::Union(branches) => {
+                assert_eq!(branches.len(), 2);
+                // Branch 1: ScanFilter(status) over CompositeScan.
+                match &branches[0] {
+                    Plan::ScanFilter { input, predicates } => {
+                        assert_eq!(predicates.len(), 1);
+                        match input.as_ref() {
+                            Plan::CompositeScan { index, eq, range } => {
+                                assert_eq!(index, "tenant_id_created_time");
+                                assert_eq!(eq.len(), 1);
+                                assert!(range.is_some());
+                            }
+                            other => panic!("expected CompositeScan, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected ScanFilter, got {other:?}"),
+                }
+                // Branch 2: single index on group.
+                assert!(
+                    matches!(&branches[1], Plan::IndexPredicate(Expr::Eq(c, _)) if c == "group")
+                );
+            }
+            other => panic!("expected Union, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn composite_longest_match_requires_leftmost() {
+        // Only created_time range, no tenant_id equality: the leftmost
+        // principle rejects the composite; falls back to single index.
+        let p = plan_of(
+            "SELECT * FROM transaction_logs \
+             WHERE created_time >= '2021-09-16 00:00:00' AND group = 5",
+        );
+        assert!(!p.uses_composite());
+    }
+
+    #[test]
+    fn scan_list_column_becomes_filter_not_index() {
+        let p = plan_of("SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 1");
+        match &p {
+            Plan::ScanFilter { input, predicates } => {
+                assert!(matches!(&predicates[0], Expr::Eq(c, _) if c == "status"));
+                assert!(input.uses_composite());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_column_is_residual() {
+        let p = plan_of("SELECT * FROM transaction_logs WHERE tenant_id = 1 AND custom_note = 'x'");
+        match &p {
+            Plan::ScanFilter { predicates, .. } => {
+                assert!(matches!(&predicates[0], Expr::Eq(c, _) if c == "custom_note"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_column_uses_single_index() {
+        let p = plan_of("SELECT * FROM transaction_logs WHERE tenant_id = 1 AND amount > 10.0");
+        fn has_amount_index(p: &Plan) -> bool {
+            match p {
+                Plan::IndexPredicate(Expr::Range(c, _, _)) => c == "amount",
+                Plan::Intersect(ps) | Plan::Union(ps) => ps.iter().any(has_amount_index),
+                Plan::ScanFilter { input, .. } => has_amount_index(input),
+                _ => false,
+            }
+        }
+        assert!(has_amount_index(&p), "{p}");
+    }
+
+    #[test]
+    fn empty_filter_plans_all() {
+        let p = plan_of("SELECT * FROM transaction_logs LIMIT 10");
+        assert_eq!(p, Plan::All);
+    }
+
+    #[test]
+    fn contradiction_plans_empty() {
+        let p = plan_of("SELECT * FROM transaction_logs WHERE status = 1 AND status = 2");
+        // status is scan-list so the contradiction dies in normalize → Or([]).
+        assert_eq!(p, Plan::Empty);
+    }
+
+    #[test]
+    fn attr_predicates_become_scan_filters() {
+        let p = plan_of(
+            "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND ATTR('activity') = '1111'",
+        );
+        // AttrEq filters the base plan; the executor picks the attr index
+        // per segment (frequency-based) or a bounded stored scan.
+        match &p {
+            Plan::ScanFilter { input, predicates } => {
+                assert!(predicates.iter().any(|e| matches!(e, Expr::AttrEq(_, _))));
+                assert!(input.uses_composite());
+            }
+            other => panic!("expected ScanFilter, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Physical query plans (paper §5.1, Fig. 7/8).
+
+use crate::ast::{Bound, Expr};
+use esdb_doc::FieldValue;
+use std::fmt;
+
+/// A physical access plan producing a posting list per segment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// All live documents.
+    All,
+    /// No documents (contradictory filter).
+    Empty,
+    /// Composite-index scan: equality prefix plus an optional range on the
+    /// next column (Fig. 8's `tenant_id_created_time` scan).
+    CompositeScan {
+        /// Index name.
+        index: String,
+        /// Leading equality columns and their values, in index order.
+        eq: Vec<(String, FieldValue)>,
+        /// Optional range on the column right after the equality prefix.
+        range: Option<(String, Bound, Bound)>,
+    },
+    /// A single predicate resolved through its own index (falling back to
+    /// a scan when the segment has no suitable index).
+    IndexPredicate(Expr),
+    /// Sequential scan (§5.1): filter the input posting list through
+    /// doc-values/stored-field predicates.
+    ScanFilter {
+        /// Producer of the candidate list.
+        input: Box<Plan>,
+        /// Predicates applied by scanning.
+        predicates: Vec<Expr>,
+    },
+    /// Intersection of sub-plans (AND).
+    Intersect(Vec<Plan>),
+    /// Union of sub-plans (OR).
+    Union(Vec<Plan>),
+}
+
+impl Plan {
+    /// Number of index/scan operators — a quick plan-complexity metric.
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Plan::All | Plan::Empty => 1,
+            Plan::CompositeScan { .. } | Plan::IndexPredicate(_) => 1,
+            Plan::ScanFilter { input, .. } => 1 + input.operator_count(),
+            Plan::Intersect(ps) | Plan::Union(ps) => {
+                1 + ps.iter().map(Plan::operator_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Whether the plan contains a composite-index scan.
+    pub fn uses_composite(&self) -> bool {
+        match self {
+            Plan::CompositeScan { .. } => true,
+            Plan::ScanFilter { input, .. } => input.uses_composite(),
+            Plan::Intersect(ps) | Plan::Union(ps) => ps.iter().any(Plan::uses_composite),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(p: &Plan, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+            let pad = "  ".repeat(indent);
+            match p {
+                Plan::All => writeln!(f, "{pad}All"),
+                Plan::Empty => writeln!(f, "{pad}Empty"),
+                Plan::CompositeScan { index, eq, range } => {
+                    write!(f, "{pad}CompositeScan {index} eq=[")?;
+                    for (i, (c, v)) in eq.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{c}={v}")?;
+                    }
+                    write!(f, "]")?;
+                    if let Some((c, _, _)) = range {
+                        write!(f, " range on {c}")?;
+                    }
+                    writeln!(f)
+                }
+                Plan::IndexPredicate(e) => writeln!(f, "{pad}IndexSearch {e:?}"),
+                Plan::ScanFilter { input, predicates } => {
+                    writeln!(f, "{pad}ScanFilter {} predicate(s)", predicates.len())?;
+                    go(input, f, indent + 1)
+                }
+                Plan::Intersect(ps) => {
+                    writeln!(f, "{pad}Intersect")?;
+                    for p in ps {
+                        go(p, f, indent + 1)?;
+                    }
+                    Ok(())
+                }
+                Plan::Union(ps) => {
+                    writeln!(f, "{pad}Union")?;
+                    for p in ps {
+                        go(p, f, indent + 1)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operator_count_and_display() {
+        let p = Plan::ScanFilter {
+            input: Box::new(Plan::Intersect(vec![
+                Plan::CompositeScan {
+                    index: "tenant_id_created_time".into(),
+                    eq: vec![("tenant_id".into(), FieldValue::Int(1))],
+                    range: None,
+                },
+                Plan::IndexPredicate(Expr::Eq("group".into(), FieldValue::Int(666))),
+            ])),
+            predicates: vec![Expr::Eq("status".into(), FieldValue::Int(1))],
+        };
+        assert_eq!(p.operator_count(), 4);
+        assert!(p.uses_composite());
+        let s = p.to_string();
+        assert!(s.contains("CompositeScan"));
+        assert!(s.contains("ScanFilter"));
+    }
+}

@@ -1,0 +1,501 @@
+//! A SQL subset parser — the front half of Xdriver4ES (§3.1).
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! SELECT (* | col, ...) FROM table
+//!   [WHERE expr]
+//!   [ORDER BY col [ASC|DESC]]
+//!   [LIMIT n]
+//!
+//! expr      := and_expr (OR and_expr)*
+//! and_expr  := primary (AND primary)*
+//! primary   := '(' expr ')' | predicate
+//! predicate := MATCH(col, 'text')
+//!            | ATTR('name') = 'value'        -- also: attributes.name = 'v'
+//!            | col (= | != | <> | < | <= | > | >=) literal
+//!            | col BETWEEN literal AND literal
+//!            | col IN (literal, ...)
+//! literal   := integer | float | 'string' | TRUE | FALSE
+//! ```
+//!
+//! String literals that parse as `YYYY-MM-DD[ HH:MM:SS]` become
+//! [`FieldValue::Timestamp`]s (the Xdriver4ES type-conversion mapping).
+
+use crate::ast::{Bound, Expr, OrderBy, Query};
+use crate::datetime::parse_datetime;
+use esdb_common::{EsdbError, Result};
+use esdb_doc::FieldValue;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Str(String),
+    Symbol(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len()
+                && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+            {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+            tokens.push(Token::Number(chars[start..i].iter().collect()));
+        } else if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= chars.len() {
+                    return Err(EsdbError::Parse("unterminated string literal".into()));
+                }
+                if chars[i] == '\'' {
+                    if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                        s.push('\'');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+            }
+            tokens.push(Token::Str(s));
+        } else {
+            // Multi-char operators first.
+            let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            if two == "<=" || two == ">=" || two == "!=" || two == "<>" {
+                tokens.push(Token::Symbol(two));
+                i += 2;
+            } else if "=<>(),*".contains(c) {
+                tokens.push(Token::Symbol(c.to_string()));
+                i += 1;
+            } else {
+                return Err(EsdbError::Parse(format!("unexpected character '{c}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| EsdbError::Parse("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(EsdbError::Parse(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: &str) -> bool {
+        if let Some(Token::Symbol(s)) = self.peek() {
+            if s == sym {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(EsdbError::Parse(format!("expected '{sym}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            t => Err(EsdbError::Parse(format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<FieldValue> {
+        match self.next()? {
+            Token::Number(n) => {
+                if n.contains('.') {
+                    let f: f64 = n
+                        .parse()
+                        .map_err(|_| EsdbError::Parse(format!("bad number {n}")))?;
+                    FieldValue::float(f).ok_or_else(|| EsdbError::Parse("NaN literal".into()))
+                } else {
+                    let i: i64 = n
+                        .parse()
+                        .map_err(|_| EsdbError::Parse(format!("bad number {n}")))?;
+                    Ok(FieldValue::Int(i))
+                }
+            }
+            Token::Str(s) => {
+                if let Some(ms) = parse_datetime(&s) {
+                    Ok(FieldValue::Timestamp(ms))
+                } else {
+                    Ok(FieldValue::Str(s))
+                }
+            }
+            Token::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(FieldValue::Bool(true)),
+            Token::Ident(s) if s.eq_ignore_ascii_case("false") => Ok(FieldValue::Bool(false)),
+            Token::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(FieldValue::Null),
+            t => Err(EsdbError::Parse(format!("expected literal, got {t:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        let mut terms = vec![self.and_expr()?];
+        while self.eat_keyword("OR") {
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Expr::Or(terms)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut terms = vec![self.primary()?];
+        while self.eat_keyword("AND") {
+            terms.push(self.primary()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Expr::And(terms)
+        })
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        if self.eat_symbol("(") {
+            let e = self.expr()?;
+            self.expect_symbol(")")?;
+            return Ok(e);
+        }
+        // MATCH(col, 'text')
+        if self.eat_keyword("MATCH") {
+            self.expect_symbol("(")?;
+            let col = self.ident()?;
+            self.expect_symbol(",")?;
+            let text = match self.next()? {
+                Token::Str(s) => s,
+                t => {
+                    return Err(EsdbError::Parse(format!(
+                        "expected string in MATCH, got {t:?}"
+                    )))
+                }
+            };
+            self.expect_symbol(")")?;
+            return Ok(Expr::Match(col, text));
+        }
+        // ATTR('name') = 'value'
+        if self.eat_keyword("ATTR") {
+            self.expect_symbol("(")?;
+            let name = match self.next()? {
+                Token::Str(s) => s,
+                t => {
+                    return Err(EsdbError::Parse(format!(
+                        "expected string in ATTR, got {t:?}"
+                    )))
+                }
+            };
+            self.expect_symbol(")")?;
+            self.expect_symbol("=")?;
+            let value = match self.next()? {
+                Token::Str(s) => s,
+                t => {
+                    return Err(EsdbError::Parse(format!(
+                        "ATTR value must be a string, got {t:?}"
+                    )))
+                }
+            };
+            return Ok(Expr::AttrEq(name, value));
+        }
+        let col = self.ident()?;
+        // attributes.name = 'value' sugar.
+        if let Some(attr) = col.strip_prefix("attributes.") {
+            self.expect_symbol("=")?;
+            let value = match self.next()? {
+                Token::Str(s) => s,
+                t => {
+                    return Err(EsdbError::Parse(format!(
+                        "attribute value must be a string, got {t:?}"
+                    )))
+                }
+            };
+            return Ok(Expr::AttrEq(attr.to_string(), value));
+        }
+        if self.eat_keyword("BETWEEN") {
+            let lo = self.literal()?;
+            self.expect_keyword("AND")?;
+            let hi = self.literal()?;
+            return Ok(Expr::Range(col, Bound::Included(lo), Bound::Included(hi)));
+        }
+        if self.eat_keyword("IN") {
+            self.expect_symbol("(")?;
+            let mut vals = vec![self.literal()?];
+            while self.eat_symbol(",") {
+                vals.push(self.literal()?);
+            }
+            self.expect_symbol(")")?;
+            return Ok(Expr::In(col, vals));
+        }
+        let op = match self.next()? {
+            Token::Symbol(s) => s,
+            t => return Err(EsdbError::Parse(format!("expected operator, got {t:?}"))),
+        };
+        let lit = self.literal()?;
+        Ok(match op.as_str() {
+            "=" => Expr::Eq(col, lit),
+            "!=" | "<>" => Expr::Ne(col, lit),
+            "<" => Expr::Range(col, Bound::Unbounded, Bound::Excluded(lit)),
+            "<=" => Expr::Range(col, Bound::Unbounded, Bound::Included(lit)),
+            ">" => Expr::Range(col, Bound::Excluded(lit), Bound::Unbounded),
+            ">=" => Expr::Range(col, Bound::Included(lit), Bound::Unbounded),
+            other => return Err(EsdbError::Parse(format!("unknown operator '{other}'"))),
+        })
+    }
+}
+
+/// Parses a SQL query string into a [`Query`].
+///
+/// ```
+/// use esdb_query::parse_sql;
+///
+/// let q = parse_sql(
+///     "SELECT * FROM transaction_logs \
+///      WHERE tenant_id = 10086 AND status = 1 \
+///      ORDER BY created_time DESC LIMIT 100",
+/// ).unwrap();
+/// assert_eq!(q.table, "transaction_logs");
+/// assert_eq!(q.limit, Some(100));
+/// ```
+pub fn parse_sql(input: &str) -> Result<Query> {
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    p.expect_keyword("SELECT")?;
+    let mut projection = Vec::new();
+    if !p.eat_symbol("*") {
+        projection.push(p.ident()?);
+        while p.eat_symbol(",") {
+            projection.push(p.ident()?);
+        }
+    }
+    p.expect_keyword("FROM")?;
+    let table = p.ident()?;
+    let filter = if p.eat_keyword("WHERE") {
+        p.expr()?
+    } else {
+        Expr::True
+    };
+    let order_by = if p.eat_keyword("ORDER") {
+        p.expect_keyword("BY")?;
+        let column = p.ident()?;
+        let descending = if p.eat_keyword("DESC") {
+            true
+        } else {
+            p.eat_keyword("ASC");
+            false
+        };
+        Some(OrderBy { column, descending })
+    } else {
+        None
+    };
+    let limit = if p.eat_keyword("LIMIT") {
+        match p.next()? {
+            Token::Number(n) => Some(
+                n.parse::<usize>()
+                    .map_err(|_| EsdbError::Parse(format!("bad LIMIT {n}")))?,
+            ),
+            t => return Err(EsdbError::Parse(format!("expected LIMIT count, got {t:?}"))),
+        }
+    } else {
+        None
+    };
+    if p.peek().is_some() {
+        return Err(EsdbError::Parse(format!(
+            "trailing tokens after query: {:?}",
+            p.peek()
+        )));
+    }
+    Ok(Query {
+        table,
+        projection,
+        filter,
+        order_by,
+        limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_query() {
+        // Figure 6 of the paper (log column renamed to *).
+        let q = parse_sql(
+            "SELECT * FROM transaction_logs \
+             WHERE tenant_id = 10086 \
+             AND created_time >= '2021-09-16 00:00:00' \
+             AND created_time <= '2021-09-17 00:00:00' \
+             AND status = 1 OR group_id = 666",
+        )
+        .unwrap();
+        assert_eq!(q.table, "transaction_logs");
+        assert!(q.projection.is_empty());
+        // SQL precedence: (A AND B AND C AND D) OR E.
+        match &q.filter {
+            Expr::Or(branches) => {
+                assert_eq!(branches.len(), 2);
+                match &branches[0] {
+                    Expr::And(cs) => assert_eq!(cs.len(), 4),
+                    other => panic!("expected And, got {other:?}"),
+                }
+                assert_eq!(
+                    branches[1],
+                    Expr::Eq("group_id".into(), FieldValue::Int(666))
+                );
+            }
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn datetime_literals_become_timestamps() {
+        let q = parse_sql("SELECT * FROM t WHERE created_time >= '2021-09-16 00:00:00'").unwrap();
+        match q.filter {
+            Expr::Range(_, Bound::Included(FieldValue::Timestamp(ms)), _) => {
+                assert_eq!(ms, 1_631_750_400_000);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn between_in_match_attr() {
+        let q = parse_sql(
+            "SELECT a, b FROM t WHERE x BETWEEN 1 AND 5 AND y IN (1, 2, 3) \
+             AND MATCH(title, 'rust book') AND ATTR('size') = 'XL' \
+             AND attributes.color = 'red' \
+             ORDER BY created_time DESC LIMIT 100",
+        )
+        .unwrap();
+        assert_eq!(q.projection, vec!["a", "b"]);
+        assert_eq!(q.limit, Some(100));
+        let ob = q.order_by.unwrap();
+        assert_eq!(ob.column, "created_time");
+        assert!(ob.descending);
+        match &q.filter {
+            Expr::And(cs) => {
+                assert_eq!(cs.len(), 5);
+                assert!(
+                    matches!(&cs[0], Expr::Range(c, Bound::Included(FieldValue::Int(1)), Bound::Included(FieldValue::Int(5))) if c == "x")
+                );
+                assert!(matches!(&cs[1], Expr::In(c, v) if c == "y" && v.len() == 3));
+                assert!(matches!(&cs[2], Expr::Match(c, t) if c == "title" && t == "rust book"));
+                assert!(matches!(&cs[3], Expr::AttrEq(n, v) if n == "size" && v == "XL"));
+                assert!(matches!(&cs[4], Expr::AttrEq(n, v) if n == "color" && v == "red"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let q = parse_sql("SELECT * FROM t WHERE a = 1 AND (b = 2 OR c = 3)").unwrap();
+        match &q.filter {
+            Expr::And(cs) => {
+                assert!(matches!(&cs[1], Expr::Or(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_escapes_and_floats() {
+        let q = parse_sql("SELECT * FROM t WHERE name = 'O''Reilly' AND price >= 9.5").unwrap();
+        match &q.filter {
+            Expr::And(cs) => {
+                assert_eq!(
+                    cs[0],
+                    Expr::Eq("name".into(), FieldValue::Str("O'Reilly".into()))
+                );
+                assert!(
+                    matches!(&cs[1], Expr::Range(_, Bound::Included(FieldValue::Float(f)), _) if *f == 9.5)
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        for bad in [
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a =",
+            "SELECT * FROM t WHERE a = 'unterminated",
+            "SELECT * FROM t LIMIT x",
+            "SELECT * FROM t WHERE a ~ 1",
+            "SELECT * FROM t trailing",
+        ] {
+            assert!(parse_sql(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn no_where_is_true_filter() {
+        let q = parse_sql("SELECT * FROM t LIMIT 5").unwrap();
+        assert_eq!(q.filter, Expr::True);
+        assert_eq!(q.limit, Some(5));
+    }
+}

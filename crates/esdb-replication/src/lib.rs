@@ -1,0 +1,30 @@
+//! Replication: Elasticsearch-style **logical** replication versus ESDB's
+//! **physical** replication (paper §3.3, §5.2, Fig. 9).
+//!
+//! *Logical* replication forwards every write to the replica, which
+//! re-executes it — doubling indexing CPU. ESDB instead ships **segment
+//! files**:
+//!
+//! 1. **Real-time translog synchronization** — every write is appended to
+//!    the replica's translog (durability / promotion), but never executed.
+//! 2. **Quick incremental replication of refreshed segments** — on refresh
+//!    the primary snapshots its segment list; the replica computes the
+//!    *segment diff*, requests missing segments, and drops segments the
+//!    primary deleted. The primary locks the snapshot's segments for the
+//!    duration (Fig. 9 steps 1–6).
+//! 3. **Pre-replication of merged segments** — merged segments ship as soon
+//!    as the merge finishes, on an independent path, so they never appear
+//!    in a segment diff and do not delay refreshed-segment visibility.
+//!
+//! [`pair::ReplicatedPair`] drives a real primary [`ShardEngine`] and a
+//! replica under either mode, with CPU/byte/visibility-delay accounting
+//! used by the Fig. 15 harness and the pre-replication ablation.
+
+pub mod diff;
+pub mod pair;
+
+pub use diff::{segment_diff, SegmentDiff, SnapshotInfo};
+pub use pair::{ReplicatedPair, ReplicationMetrics, ReplicationMode};
+
+// Re-exported so callers of the pair don't need a direct esdb-storage dep.
+pub use esdb_storage::ShardEngine;

@@ -1,0 +1,25 @@
+//! The shard storage engine (paper §3.3, "Execution layer").
+//!
+//! Each shard is an independent engine with the Elasticsearch write path
+//! the paper inherits:
+//!
+//! * writes append to the **Translog** (WAL, [`translog`]) for durability,
+//! * then index into an **in-memory buffer** that is *not yet searchable*,
+//! * a periodic **refresh** freezes the buffer into an immutable searchable
+//!   segment (near-real-time search),
+//! * **flush** persists segments to disk and rolls the translog,
+//! * crash **recovery** loads persisted segments and replays the translog
+//!   tail,
+//! * **segment merge** compacts small segments (driven by the policy in
+//!   `esdb-index`).
+//!
+//! [`codec`] is the self-contained binary serialization used by both the
+//! translog and segment files (length-prefixed, Murmur3-checksummed).
+
+pub mod codec;
+pub mod persist;
+pub mod shard;
+pub mod translog;
+
+pub use shard::{ShardConfig, ShardEngine, ShardStats};
+pub use translog::Translog;

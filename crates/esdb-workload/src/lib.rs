@@ -1,0 +1,24 @@
+//! Workload generation for ESDB-RS (paper §6.1).
+//!
+//! The paper's benchmark "generates random workloads based on the template
+//! of our transaction logs", sampling tenant IDs from a Zipf distribution
+//! with skewness factor θ ∈ {0, 0.5, 1, 1.5, 2} (θ=1 ≈ production).
+//!
+//! * [`trace::TraceGenerator`] — the write-workload stream: Zipf tenant
+//!   sampling, auto-increment record IDs, *hotspot remap events* (Fig. 14
+//!   changes "the mapping between the tenant IDs and Zipf sampling
+//!   results" mid-run), and rate schedules with spikes (Fig. 19's festival
+//!   kickoff).
+//! * [`docs::DocGenerator`] — materializes full transaction-log documents
+//!   (status/group/province/title + Zipf-sampled sub-attributes) for the
+//!   real-engine experiments (Fig. 17/18).
+//! * [`queries::QueryGenerator`] — the paper's query template: tenant +
+//!   time-range plus 3–10 random column filters, `LIMIT 100` (§6.3).
+
+pub mod docs;
+pub mod queries;
+pub mod trace;
+
+pub use docs::DocGenerator;
+pub use queries::QueryGenerator;
+pub use trace::{RateSchedule, TraceGenerator, WriteEvent};

@@ -1,0 +1,148 @@
+//! Query-workload generation (paper §6.3).
+//!
+//! The paper's template: "retrieving transaction logs of a tenant in a
+//! time period", with "multiple filters appended after the predicates of
+//! tenant ID and time range. (The number of involved columns is randomly
+//! chosen from 3 to 10.)", plus `LIMIT 100`. Fig. 18 appends one Zipf-
+//! sampled sub-attribute filter.
+
+use esdb_common::zipf::ZipfSampler;
+use esdb_common::{TenantId, TimestampMs};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates SQL query strings following the paper's template.
+#[derive(Debug)]
+pub struct QueryGenerator {
+    rng: StdRng,
+    attr_zipf: ZipfSampler,
+    /// Append a sub-attribute filter (Fig. 18 experiment)?
+    pub with_attr_filter: bool,
+}
+
+impl QueryGenerator {
+    /// Generator with `n_attrs` sub-attribute names for the optional
+    /// attribute filter.
+    pub fn new(n_attrs: usize, seed: u64) -> Self {
+        QueryGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            attr_zipf: ZipfSampler::new(n_attrs.max(1), 1.0),
+            with_attr_filter: false,
+        }
+    }
+
+    /// The paper's base template for a tenant and time window.
+    pub fn base_template(tenant: TenantId, from: TimestampMs, to: TimestampMs) -> String {
+        format!(
+            "SELECT * FROM transaction_logs WHERE tenant_id = {} \
+             AND created_time BETWEEN {from} AND {to}",
+            tenant.raw()
+        )
+    }
+
+    /// One random query for `tenant` over `[from, to]`: base template plus
+    /// extra filters on *distinct* columns, so total involved columns land
+    /// in the paper's 3..=10 range without self-contradictory predicates.
+    pub fn generate(&mut self, tenant: TenantId, from: TimestampMs, to: TimestampMs) -> String {
+        let mut sql = Self::base_template(tenant, from, to);
+        // Candidate filters, one per column.
+        let mut candidates: Vec<String> = vec![
+            format!("status = {}", self.rng.random_range(0..3)),
+            if self.rng.random_range(0..2) == 0 {
+                format!("group = {}", self.rng.random_range(0..1_000))
+            } else {
+                format!(
+                    "group IN ({}, {}, {})",
+                    self.rng.random_range(0..1_000),
+                    self.rng.random_range(0..1_000),
+                    self.rng.random_range(0..1_000)
+                )
+            },
+            format!(
+                "province = '{}'",
+                ["zhejiang", "jiangsu", "guangdong", "shanghai"][self.rng.random_range(0..4)]
+            ),
+            // Selective tail of the buyer-id space (5–30%).
+            format!("buyer_id >= {}", self.rng.random_range(700_000..950_000)),
+            // Full-text.
+            format!(
+                "MATCH(auction_title, '{}')",
+                ["rust", "book", "phone", "coffee", "laptop"][self.rng.random_range(0..5)]
+            ),
+        ];
+        // Shuffle and take 1..=6 distinct extra columns.
+        for i in (1..candidates.len()).rev() {
+            let j = self.rng.random_range(0..=i);
+            candidates.swap(i, j);
+        }
+        let extra = self.rng.random_range(1..=candidates.len());
+        for filter in candidates.drain(..extra) {
+            sql.push_str(" AND ");
+            sql.push_str(&filter);
+        }
+        if self.with_attr_filter {
+            let rank = self.attr_zipf.sample(&mut self.rng);
+            sql.push_str(&format!(
+                " AND ATTR('{}') = 'v{}'",
+                crate::docs::DocGenerator::attr_name(rank),
+                self.rng.random_range(0..16)
+            ));
+        }
+        sql.push_str(" LIMIT 100");
+        sql
+    }
+
+    /// The Fig. 18 probe: the bare template plus one Zipf-sampled
+    /// sub-attribute filter (no other column filters) — without an attr
+    /// index, the engine must post-filter the tenant's whole time window.
+    pub fn generate_attr_probe(
+        &mut self,
+        tenant: TenantId,
+        from: TimestampMs,
+        to: TimestampMs,
+    ) -> String {
+        let rank = self.attr_zipf.sample(&mut self.rng);
+        format!(
+            "{} AND ATTR('{}') = 'v{}' LIMIT 100",
+            Self::base_template(tenant, from, to),
+            crate::docs::DocGenerator::attr_name(rank),
+            self.rng.random_range(0..16)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_queries_parse() {
+        let mut g = QueryGenerator::new(1_500, 1);
+        for i in 0..50 {
+            let sql = g.generate(TenantId(i), 1_000, 2_000);
+            assert!(sql.contains("LIMIT 100"));
+            assert!(sql.contains(&format!("tenant_id = {i}")));
+        }
+    }
+
+    #[test]
+    fn attr_filter_toggles() {
+        let mut g = QueryGenerator::new(1_500, 2);
+        g.with_attr_filter = true;
+        let sql = g.generate(TenantId(1), 0, 10);
+        assert!(sql.contains("ATTR('attr_"), "{sql}");
+        g.with_attr_filter = false;
+        let sql = g.generate(TenantId(1), 0, 10);
+        assert!(!sql.contains("ATTR("), "{sql}");
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = QueryGenerator::new(100, 7);
+        let mut b = QueryGenerator::new(100, 7);
+        assert_eq!(
+            a.generate(TenantId(1), 0, 10),
+            b.generate(TenantId(1), 0, 10)
+        );
+    }
+}

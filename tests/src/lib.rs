@@ -1,0 +1,10 @@
+//! Support helpers for ESDB-RS cross-crate integration tests.
+
+use std::path::PathBuf;
+
+/// A unique temp dir per (test name, process), pre-cleaned.
+pub fn test_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("esdb-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}

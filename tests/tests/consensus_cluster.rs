@@ -1,0 +1,91 @@
+//! Consensus-in-the-cluster integration: the rule-commit protocol running
+//! inside the simulator under healthy and faulty networks.
+
+use esdb_cluster::{ClusterConfig, PolicySpec, SimCluster};
+use esdb_common::{NodeId, TenantId};
+use esdb_consensus::{FaultPlan, LinkFault};
+use esdb_workload::{RateSchedule, TraceGenerator};
+
+fn run_with_plan(plan: FaultPlan, secs: u64) -> (usize, f64) {
+    let mut cfg = ClusterConfig::small(PolicySpec::Dynamic);
+    cfg.monitor_period_ms = 1_000;
+    cfg.consensus_t_ms = 500;
+    let tick = cfg.tick_ms;
+    let mut cluster = SimCluster::new(cfg);
+    cluster.set_fault_plan(plan);
+    let mut gen = TraceGenerator::new(1_000, 1.5, RateSchedule::constant(1_500.0), 5);
+    for _ in 0..(secs * 1_000 / tick) {
+        let now = cluster.now();
+        let events = gen.tick(now, tick);
+        cluster.step(events);
+    }
+    let report = cluster.finish();
+    (report.rules_committed, report.throughput_tps(secs * 500))
+}
+
+#[test]
+fn healthy_network_commits_rules_and_balances() {
+    let (rules, tput) = run_with_plan(FaultPlan::healthy(20), 40);
+    assert!(rules > 0, "no rules committed on a healthy network");
+    assert!(tput > 1_200.0, "throughput {tput} too low after balancing");
+}
+
+#[test]
+fn partitioned_node_blocks_rule_commits_but_not_writes() {
+    let mut plan = FaultPlan::healthy(20);
+    plan.set(NodeId(2), LinkFault::Partitioned);
+    let (rules, tput) = run_with_plan(plan, 40);
+    // Every round aborts (a participant never acks), so no rules commit —
+    // the system degrades to hashing but keeps serving writes.
+    assert_eq!(rules, 0, "rules must not commit under partition");
+    assert!(tput > 600.0, "writes must continue during aborted rounds");
+}
+
+#[test]
+fn slow_link_within_deadline_still_commits() {
+    let mut plan = FaultPlan::healthy(20);
+    // 2*(20+80) = 200 ms < T/2 = 250 ms: slow but acceptable.
+    plan.set(NodeId(1), LinkFault::Delay(80));
+    let (rules, _) = run_with_plan(plan, 40);
+    assert!(
+        rules > 0,
+        "slow-but-in-deadline participant must not abort rounds"
+    );
+}
+
+#[test]
+fn recovery_after_partition_heals() {
+    // First 20 s partitioned (no rules), then healed: rules commit and
+    // the hot tenant spreads.
+    let mut cfg = ClusterConfig::small(PolicySpec::Dynamic);
+    cfg.monitor_period_ms = 1_000;
+    cfg.consensus_t_ms = 500;
+    let tick = cfg.tick_ms;
+    let mut cluster = SimCluster::new(cfg);
+    let mut bad = FaultPlan::healthy(20);
+    bad.set(NodeId(0), LinkFault::DropPrepare);
+    cluster.set_fault_plan(bad);
+    let mut gen = TraceGenerator::new(1_000, 1.5, RateSchedule::constant(1_500.0), 5);
+    for _ in 0..200 {
+        let now = cluster.now();
+        let events = gen.tick(now, tick);
+        cluster.step(events);
+    }
+    assert_eq!(cluster.report_so_far().rules_committed, 0);
+    cluster.set_fault_plan(FaultPlan::healthy(20));
+    for _ in 0..200 {
+        let now = cluster.now();
+        let events = gen.tick(now, tick);
+        cluster.step(events);
+    }
+    let hot = gen.tenant_of_rank(1);
+    assert!(
+        cluster.report_so_far().rules_committed > 0,
+        "no rules after heal"
+    );
+    assert!(
+        cluster.read_span(hot).len > 1,
+        "hot tenant not split after heal"
+    );
+    let _ = TenantId(0);
+}

@@ -1,0 +1,100 @@
+//! Safety properties of the rule-commit protocol under arbitrary fault
+//! sequences: *agreement* (participants that applied rules applied the
+//! same prefix-closed set, identical content) and *monotonicity*
+//! (effective times strictly increase in every local list).
+
+use esdb_common::{NodeId, SharedClock, TenantId};
+use esdb_consensus::{ConsensusConfig, FaultPlan, LinkFault, Master, Participant, RuleBody};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum RoundFault {
+    Healthy,
+    Delay { node: u8, ms: u64 },
+    DropPrepare { node: u8 },
+    DropCommit { node: u8 },
+    Partition { node: u8 },
+}
+
+fn arb_fault() -> impl Strategy<Value = RoundFault> {
+    prop_oneof![
+        3 => Just(RoundFault::Healthy),
+        1 => (0u8..5, 0u64..1_500).prop_map(|(node, ms)| RoundFault::Delay { node, ms }),
+        1 => (0u8..5).prop_map(|node| RoundFault::DropPrepare { node }),
+        1 => (0u8..5).prop_map(|node| RoundFault::DropCommit { node }),
+        1 => (0u8..5).prop_map(|node| RoundFault::Partition { node }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn agreement_and_monotonicity_under_faults(
+        rounds in proptest::collection::vec((arb_fault(), 1u64..64, 0u64..10), 1..20),
+    ) {
+        let (clock, driver) = SharedClock::manual(0);
+        let master = Master::new(clock, ConsensusConfig { interval_t_ms: 2_000 });
+        let mut participants: Vec<Participant> =
+            (0..5).map(|i| Participant::new(NodeId(i))).collect();
+        let mut committed_history: Vec<(u64, u32, u64)> = Vec::new(); // (t, s, tenant)
+
+        for (fault, offset, tenant) in rounds {
+            let mut plan = FaultPlan::healthy(10);
+            match fault {
+                RoundFault::Healthy => {}
+                RoundFault::Delay { node, ms } => {
+                    plan.set(NodeId(node as u32), LinkFault::Delay(ms));
+                }
+                RoundFault::DropPrepare { node } => {
+                    plan.set(NodeId(node as u32), LinkFault::DropPrepare);
+                }
+                RoundFault::DropCommit { node } => {
+                    plan.set(NodeId(node as u32), LinkFault::DropCommit);
+                }
+                RoundFault::Partition { node } => {
+                    plan.set(NodeId(node as u32), LinkFault::Partitioned);
+                }
+            }
+            let body = RuleBody::single(TenantId(tenant), (offset as u32).next_power_of_two());
+            let outcome = master.run_round(&body, &mut participants, &plan);
+            if let esdb_consensus::RoundOutcome::Committed { rule, missed, .. } = &outcome {
+                committed_history.push((
+                    rule.effective_time,
+                    rule.offset,
+                    rule.tenants[0].raw(),
+                ));
+                // A missed participant is allowed to lag; re-deliver (the
+                // operator recovery path) so the next rounds can proceed.
+                for p in participants.iter_mut() {
+                    if missed.contains(&p.id) {
+                        p.on_commit(rule);
+                    }
+                }
+            }
+            driver.advance(100);
+        }
+
+        // Monotone effective times in the committed history.
+        for w in committed_history.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "effective times must advance: {committed_history:?}");
+        }
+
+        // Agreement: every participant holds exactly the committed history.
+        for p in &participants {
+            let rules = p.rules();
+            let local = rules.read();
+            let got: Vec<(u64, u32, u64)> = local
+                .rules()
+                .iter()
+                .map(|r| (r.effective_time, r.offset, r.tenants[0].raw()))
+                .collect();
+            prop_assert_eq!(
+                &got, &committed_history,
+                "{:?} diverged from the committed history", p.id
+            );
+            // No participant may be left blocked after decided rounds.
+            prop_assert!(!p.is_blocking(), "{:?} still blocking", p.id);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Longest-match composite-index selection with several overlapping
+//! composite indexes declared (the DBA reality §5.1 alludes to: "DBAs are
+//! expected to manually build composite indices among a massive amount of
+//! column combinations").
+
+use esdb_common::{RecordId, TenantId};
+use esdb_doc::{CollectionSchema, Document, FieldType};
+use esdb_index::{Segment, SegmentBuilder};
+use esdb_query::plan::Plan;
+use esdb_query::{execute_on_segments, optimize, parse_sql, translate, QueryOptions};
+
+/// A schema with three overlapping composites:
+/// (tenant, time), (tenant, status), (tenant, status, group).
+fn schema() -> CollectionSchema {
+    CollectionSchema::builder("transaction_logs")
+        .field("status", FieldType::Long, true, true)
+        .field("group", FieldType::Long, true, true)
+        .field("province", FieldType::Keyword, true, true)
+        .composite_index("tenant_time", &["tenant_id", "created_time"])
+        .composite_index("tenant_status", &["tenant_id", "status"])
+        .composite_index("tenant_status_group", &["tenant_id", "status", "group"])
+        .build()
+}
+
+fn plan_of(sql: &str) -> Plan {
+    let q = translate(parse_sql(sql).expect("parse"));
+    optimize(&q.filter, &schema())
+}
+
+fn composite_name(p: &Plan) -> Option<String> {
+    match p {
+        Plan::CompositeScan { index, .. } => Some(index.clone()),
+        Plan::ScanFilter { input, .. } => composite_name(input),
+        Plan::Intersect(ps) | Plan::Union(ps) => ps.iter().find_map(composite_name),
+        _ => None,
+    }
+}
+
+#[test]
+fn longest_match_prefers_deepest_composite() {
+    // tenant + status + group equalities: the 3-column composite wins.
+    let p = plan_of(
+        "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 2 AND group = 3",
+    );
+    assert_eq!(composite_name(&p).as_deref(), Some("tenant_status_group"));
+}
+
+#[test]
+fn two_column_match_beats_one_plus_range() {
+    // tenant eq + status eq (no group): tenant_status covers 2 equalities;
+    // tenant_time would only cover 1.
+    let p = plan_of("SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 2");
+    assert_eq!(composite_name(&p).as_deref(), Some("tenant_status"));
+}
+
+#[test]
+fn range_column_steers_index_choice() {
+    // tenant eq + time range: only tenant_time can use the range.
+    let p = plan_of(
+        "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND created_time BETWEEN 5 AND 9",
+    );
+    assert_eq!(composite_name(&p).as_deref(), Some("tenant_time"));
+    // tenant eq + status eq + time range: (tenant,status) eq-pair outscores
+    // (tenant)+range; time becomes a residual/single-index predicate.
+    let p = plan_of(
+        "SELECT * FROM transaction_logs \
+         WHERE tenant_id = 1 AND status = 2 AND created_time BETWEEN 5 AND 9",
+    );
+    assert_eq!(composite_name(&p).as_deref(), Some("tenant_status"));
+}
+
+#[test]
+fn multi_composite_execution_is_exact() {
+    let schema = schema();
+    let mut b = SegmentBuilder::without_attr_index(schema.clone());
+    for r in 0..300u64 {
+        b.add(
+            Document::builder(TenantId(r % 3), RecordId(r), 1_000 + r)
+                .field("status", (r % 4) as i64)
+                .field("group", (r % 5) as i64)
+                .field("province", if r % 2 == 0 { "zhejiang" } else { "jiangsu" })
+                .build(),
+        );
+    }
+    let seg: Segment = b.refresh(1);
+    for sql in [
+        "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 2 AND group = 3",
+        "SELECT * FROM transaction_logs WHERE tenant_id = 2 AND status = 1",
+        "SELECT * FROM transaction_logs WHERE tenant_id = 0 AND created_time BETWEEN 1050 AND 1200",
+        "SELECT * FROM transaction_logs \
+         WHERE tenant_id = 1 AND status = 3 AND created_time BETWEEN 1100 AND 1250 AND province = 'zhejiang'",
+    ] {
+        let q = translate(parse_sql(sql).expect("parse"));
+        let expected: usize = seg
+            .live_docs()
+            .filter(|(_, d)| q.filter.matches(d))
+            .count();
+        for use_optimizer in [true, false] {
+            let rows = execute_on_segments(
+                &q,
+                &schema,
+                &[&seg],
+                QueryOptions { use_optimizer },
+            );
+            assert_eq!(
+                rows.docs.len(),
+                expected,
+                "sql={sql} optimizer={use_optimizer}"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based query equivalence: for random datasets and random
+//! filters, the optimized plan, the naive Lucene plan, and the reference
+//! `Expr::matches` semantics must agree — end-to-end through segments.
+
+use esdb_common::{RecordId, TenantId};
+use esdb_doc::{CollectionSchema, Document, FieldValue};
+use esdb_index::{Segment, SegmentBuilder};
+use esdb_query::ast::{Bound, Expr, Query};
+use esdb_query::xdriver::normalize_choose;
+use esdb_query::{execute_on_segments, QueryOptions};
+use proptest::prelude::*;
+
+fn build_segments(docs: &[Document], pieces: usize) -> Vec<Segment> {
+    let schema = CollectionSchema::transaction_logs();
+    let chunk = docs.len().div_ceil(pieces.max(1)).max(1);
+    docs.chunks(chunk)
+        .enumerate()
+        .map(|(i, ds)| {
+            let mut b = SegmentBuilder::without_attr_index(schema.clone());
+            for d in ds {
+                b.add(d.clone());
+            }
+            b.refresh(i as u64 + 1)
+        })
+        .collect()
+}
+
+fn arb_doc(id: u64) -> impl Strategy<Value = Document> {
+    (
+        0u64..6,     // tenant
+        0i64..4,     // status
+        0i64..5,     // group
+        0u64..1_000, // created offset
+        prop::sample::select(vec!["zhejiang", "jiangsu", "guangdong"]),
+        prop::sample::select(vec!["rust book", "java book", "coffee beans", "desk lamp"]),
+    )
+        .prop_map(move |(tenant, status, group, t, prov, title)| {
+            Document::builder(TenantId(tenant), RecordId(id), 10_000 + t)
+                .field("status", status)
+                .field("group", group)
+                .field("province", prov)
+                .field("auction_title", title)
+                .build()
+        })
+}
+
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..6).prop_map(|t| Expr::Eq("tenant_id".into(), FieldValue::Int(t))),
+        (0i64..4).prop_map(|s| Expr::Eq("status".into(), FieldValue::Int(s))),
+        (0i64..5).prop_map(|g| Expr::Eq("group".into(), FieldValue::Int(g))),
+        proptest::collection::vec(0i64..5, 1..3).prop_map(|vs| Expr::In(
+            "group".into(),
+            vs.into_iter().map(FieldValue::Int).collect()
+        )),
+        (0u64..1_000, 0u64..1_000).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            Expr::Range(
+                "created_time".into(),
+                Bound::Included(FieldValue::Timestamp(10_000 + lo)),
+                Bound::Included(FieldValue::Timestamp(10_000 + hi)),
+            )
+        }),
+        prop::sample::select(vec!["zhejiang", "jiangsu", "shanghai"])
+            .prop_map(|p| Expr::Eq("province".into(), FieldValue::Str(p.into()))),
+        prop::sample::select(vec!["rust", "book", "coffee", "lamp"])
+            .prop_map(|w| Expr::Match("auction_title".into(), w.into())),
+        (0i64..4).prop_map(|s| Expr::Ne("status".into(), FieldValue::Int(s))),
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = Expr> {
+    arb_leaf().prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Expr::And),
+            proptest::collection::vec(inner, 1..4).prop_map(Expr::Or),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plans_agree_with_reference(
+        docs in proptest::collection::vec(any::<u64>(), 1..60).prop_flat_map(|seeds| {
+            let strategies: Vec<_> = seeds
+                .iter()
+                .enumerate()
+                .map(|(i, _)| arb_doc(i as u64))
+                .collect();
+            strategies
+        }),
+        filter in arb_filter(),
+        pieces in 1usize..4,
+    ) {
+        let filter = normalize_choose(filter);
+        let segments = build_segments(&docs, pieces);
+        let seg_refs: Vec<&Segment> = segments.iter().collect();
+        let schema = CollectionSchema::transaction_logs();
+        let query = Query {
+            table: "transaction_logs".into(),
+            projection: vec![],
+            filter: filter.clone(),
+            order_by: None,
+            limit: None,
+        };
+        let mut expected: Vec<u64> = docs
+            .iter()
+            .filter(|d| filter.matches(d))
+            .map(|d| d.record_id.raw())
+            .collect();
+        expected.sort_unstable();
+        for use_optimizer in [true, false] {
+            let rows = execute_on_segments(
+                &query,
+                &schema,
+                &seg_refs,
+                QueryOptions { use_optimizer },
+            );
+            let mut got: Vec<u64> = rows.docs.iter().map(|d| d.record_id.raw()).collect();
+            got.sort_unstable();
+            prop_assert_eq!(
+                &got, &expected,
+                "plan disagreement (optimizer={}) on filter {:?}",
+                use_optimizer, filter
+            );
+        }
+    }
+}

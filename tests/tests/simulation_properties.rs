@@ -1,0 +1,121 @@
+//! Cross-policy invariants of the cluster simulator — the properties the
+//! paper's evaluation relies on, checked mechanically.
+
+use esdb_cluster::{ClusterConfig, PolicySpec, RunReport, SimCluster};
+use esdb_workload::{RateSchedule, TraceGenerator};
+
+fn run(policy: PolicySpec, theta: f64, rate: f64, secs: u64, seed: u64) -> RunReport {
+    let cfg = ClusterConfig::small(policy);
+    let tick = cfg.tick_ms;
+    let mut cluster = SimCluster::new(cfg);
+    let mut gen = TraceGenerator::new(1_000, theta, RateSchedule::constant(rate), seed);
+    for _ in 0..(secs * 1_000 / tick) {
+        let now = cluster.now();
+        let events = gen.tick(now, tick);
+        cluster.step(events);
+    }
+    cluster.finish()
+}
+
+#[test]
+fn throughput_ordering_under_skew() {
+    // At an over-saturation rate with heavy skew:
+    // double >= dynamic > hashing (Fig. 10/11 ordering).
+    let hash = run(PolicySpec::Hashing, 1.5, 1_800.0, 50, 1);
+    let dynamic = run(PolicySpec::Dynamic, 1.5, 1_800.0, 50, 1);
+    let double = run(PolicySpec::DoubleHashing { s: 8 }, 1.5, 1_800.0, 50, 1);
+    let w = 25_000;
+    assert!(double.throughput_tps(w) >= dynamic.throughput_tps(w) * 0.95);
+    assert!(dynamic.throughput_tps(w) > hash.throughput_tps(w) * 1.1);
+}
+
+#[test]
+fn delay_ordering_under_skew() {
+    let hash = run(PolicySpec::Hashing, 1.5, 1_500.0, 50, 2);
+    let double = run(PolicySpec::DoubleHashing { s: 8 }, 1.5, 1_500.0, 50, 2);
+    assert!(
+        hash.avg_delay_ms(25_000) > 3.0 * double.avg_delay_ms(25_000),
+        "hashing delay {} should dwarf double hashing {}",
+        hash.avg_delay_ms(25_000),
+        double.avg_delay_ms(25_000)
+    );
+}
+
+#[test]
+fn no_skew_means_no_policy_difference() {
+    // θ=0 (uniform): all three policies are equivalent (Fig. 11 at θ=0).
+    let hash = run(PolicySpec::Hashing, 0.0, 1_500.0, 30, 3);
+    let double = run(PolicySpec::DoubleHashing { s: 8 }, 0.0, 1_500.0, 30, 3);
+    let dynamic = run(PolicySpec::Dynamic, 0.0, 1_500.0, 30, 3);
+    let w = 15_000;
+    let ts = [
+        hash.throughput_tps(w),
+        double.throughput_tps(w),
+        dynamic.throughput_tps(w),
+    ];
+    let max = ts.iter().cloned().fold(f64::MIN, f64::max);
+    let min = ts.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min < 1.05, "uniform workload should equalize: {ts:?}");
+    assert_eq!(dynamic.rules_committed, 0, "no hotspots to split at θ=0");
+}
+
+#[test]
+fn stddev_ordering_matches_fig12() {
+    let hash = run(PolicySpec::Hashing, 1.5, 1_500.0, 40, 4);
+    let double = run(PolicySpec::DoubleHashing { s: 8 }, 1.5, 1_500.0, 40, 4);
+    let dynamic = run(PolicySpec::Dynamic, 1.5, 1_500.0, 40, 4);
+    assert!(double.node_throughput_stddev() <= dynamic.node_throughput_stddev() * 1.5);
+    assert!(dynamic.node_throughput_stddev() < hash.node_throughput_stddev());
+    assert!(dynamic.shard_throughput_stddev() < hash.shard_throughput_stddev());
+}
+
+#[test]
+fn littles_law_consistency() {
+    // In a stable under-capacity run, Little's-law delay ≈ completed-delay
+    // (both ≈ one tick); in an overloaded run it must exceed it.
+    let stable = run(PolicySpec::DoubleHashing { s: 8 }, 0.5, 1_000.0, 30, 5);
+    let d_little = stable.avg_delay_ms(15_000);
+    let d_completed = stable.avg_completed_delay_ms(15_000);
+    assert!(
+        (d_little - d_completed).abs() <= 120.0,
+        "stable run: little {d_little} vs completed {d_completed}"
+    );
+    let overloaded = run(PolicySpec::Hashing, 1.5, 2_500.0, 30, 5);
+    assert!(
+        overloaded.avg_delay_ms(15_000) > overloaded.avg_completed_delay_ms(15_000),
+        "overload must show up in the sojourn estimate"
+    );
+}
+
+#[test]
+fn per_policy_conservation() {
+    for policy in [
+        PolicySpec::Hashing,
+        PolicySpec::DoubleHashing { s: 8 },
+        PolicySpec::Dynamic,
+    ] {
+        let cfg = ClusterConfig::small(policy);
+        let tick = cfg.tick_ms;
+        let mut cluster = SimCluster::new(cfg);
+        let mut gen = TraceGenerator::new(500, 1.0, RateSchedule::constant(900.0), 6);
+        let mut generated = 0u64;
+        for _ in 0..300 {
+            let now = cluster.now();
+            let events = gen.tick(now, tick);
+            generated += events.len() as u64;
+            cluster.step(events);
+        }
+        cluster.drain(30_000);
+        assert_eq!(cluster.backlog(), 0, "{policy:?} backlog not drained");
+        let report = cluster.finish();
+        let completed: u64 = report.ticks.iter().map(|t| t.completed).sum();
+        assert_eq!(completed, generated, "{policy:?} lost writes");
+        assert_eq!(report.per_shard_writes.iter().sum::<u64>(), generated);
+        assert_eq!(report.per_node_completed.iter().sum::<u64>(), generated);
+        assert_eq!(
+            report.per_tenant_docs.values().sum::<u64>(),
+            generated,
+            "{policy:?} tenant accounting broken"
+        );
+    }
+}

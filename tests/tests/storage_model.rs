@@ -1,0 +1,123 @@
+//! Model-based testing of the shard storage engine: arbitrary interleaved
+//! sequences of inserts/updates/deletes/refreshes/flushes/merges/reopens
+//! must agree with a trivial in-memory reference model.
+
+use esdb_common::{RecordId, TenantId};
+use esdb_doc::{CollectionSchema, Document, FieldValue, WriteOp};
+use esdb_storage::{ShardConfig, ShardEngine};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { rid: u8, status: i64 },
+    Update { rid: u8, status: i64 },
+    Delete { rid: u8 },
+    Refresh,
+    Flush,
+    Merge,
+    Reopen,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), 0i64..100).prop_map(|(rid, status)| Op::Insert { rid, status }),
+        3 => (any::<u8>(), 0i64..100).prop_map(|(rid, status)| Op::Update { rid, status }),
+        2 => any::<u8>().prop_map(|rid| Op::Delete { rid }),
+        2 => Just(Op::Refresh),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Merge),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn doc(rid: u8, status: i64) -> Document {
+    Document::builder(TenantId(1), RecordId(rid as u64), 1_000 + rid as u64)
+        .field("status", status)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn engine_agrees_with_reference_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let dir = std::env::temp_dir().join(format!(
+            "esdb-model-{}-{}",
+            std::process::id(),
+            rand::random::<u64>()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = CollectionSchema::transaction_logs();
+        let mut engine = ShardEngine::open(schema.clone(), ShardConfig::new(&dir)).unwrap();
+        // Reference model: record id -> status (upsert semantics).
+        let mut model: HashMap<u8, i64> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                Op::Insert { rid, status } | Op::Update { rid, status } => {
+                    let kind_op = match *op {
+                        Op::Insert { .. } => WriteOp::insert(doc(rid, status)),
+                        _ => WriteOp::update(doc(rid, status)),
+                    };
+                    engine.apply(&kind_op).unwrap();
+                    model.insert(rid, status);
+                }
+                Op::Delete { rid } => {
+                    engine
+                        .apply(&WriteOp::delete(TenantId(1), RecordId(rid as u64), 1_000 + rid as u64))
+                        .unwrap();
+                    model.remove(&rid);
+                }
+                Op::Refresh => {
+                    engine.refresh();
+                }
+                Op::Flush => {
+                    engine.flush().unwrap();
+                }
+                Op::Merge => {
+                    engine.maybe_merge();
+                }
+                Op::Reopen => {
+                    engine.sync().unwrap();
+                    drop(engine);
+                    engine = ShardEngine::open(schema.clone(), ShardConfig::new(&dir)).unwrap();
+                }
+            }
+
+            // Invariant: membership matches the model at every step.
+            for (&rid, &status) in &model {
+                prop_assert!(
+                    engine.contains_record(rid as u64),
+                    "record {rid} missing after {op:?}"
+                );
+                // Searchable copies must carry the latest status.
+                if let Some(d) = engine.get_record(rid as u64) {
+                    // The searchable copy may lag the buffer, but after a
+                    // refresh it must be exact — checked below.
+                    let _ = d;
+                    let _ = status;
+                }
+            }
+        }
+
+        // Final check: refresh and compare the full state.
+        engine.refresh();
+        let stats = engine.stats();
+        prop_assert_eq!(stats.live_docs, model.len(), "live doc count diverged");
+        prop_assert_eq!(stats.buffered_docs, 0);
+        for (&rid, &status) in &model {
+            let d = engine
+                .get_record(rid as u64)
+                .unwrap_or_else(|| panic!("record {rid} not searchable at end"));
+            prop_assert_eq!(d.get("status"), Some(FieldValue::Int(status)));
+        }
+        // And nothing extra survived.
+        for rid in 0u8..=255 {
+            if !model.contains_key(&rid) {
+                prop_assert!(!engine.contains_record(rid as u64), "ghost record {rid}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
