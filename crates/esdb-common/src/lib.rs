@@ -19,6 +19,7 @@
 
 pub mod clock;
 pub mod error;
+pub mod exec;
 pub mod fastmap;
 pub mod hash;
 pub mod ids;
@@ -27,4 +28,5 @@ pub mod zipf;
 
 pub use clock::{Clock, ManualClock, RealClock, SharedClock};
 pub use error::{EsdbError, Result};
+pub use exec::Executor;
 pub use ids::{NodeId, RecordId, ShardId, TenantId, TimestampMs};

@@ -1,6 +1,7 @@
 //! The embedded ESDB instance.
 
 use esdb_balancer::{BalancerConfig, LoadBalancer, WorkloadMonitor};
+use esdb_common::exec::Executor;
 use esdb_common::{
     Clock, EsdbError, NodeId, RecordId, Result, ShardId, SharedClock, TenantId, TimestampMs,
 };
@@ -14,7 +15,9 @@ use esdb_routing::{
 use esdb_storage::{ShardConfig, ShardEngine};
 use parking_lot::RwLock;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which routing policy the instance uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +46,11 @@ pub struct EsdbConfig {
     /// Auto-refresh shards whose buffer reaches this many docs (0 = manual
     /// refresh).
     pub refresh_buffer_docs: usize,
+    /// Worker threads for scatter-gather query fan-out and shard
+    /// maintenance sweeps. `1` runs everything sequentially on the caller
+    /// thread (deterministic mode); `0` selects the number of available
+    /// CPU cores.
+    pub parallelism: usize,
 }
 
 impl EsdbConfig {
@@ -57,6 +65,7 @@ impl EsdbConfig {
             balance_every_writes: 5_000,
             balancer: BalancerConfig::new(n_shards, n_shards.div_ceil(4).max(1)),
             refresh_buffer_docs: 0,
+            parallelism: 0,
         }
     }
 
@@ -70,6 +79,13 @@ impl EsdbConfig {
     /// Overrides the routing mode.
     pub fn routing(mut self, mode: RoutingMode) -> Self {
         self.routing = mode;
+        self
+    }
+
+    /// Overrides the scatter-gather parallelism degree (`1` =
+    /// deterministic sequential, `0` = all available cores).
+    pub fn parallelism(mut self, degree: usize) -> Self {
+        self.parallelism = degree;
         self
     }
 }
@@ -115,13 +131,69 @@ pub struct EsdbStats {
     pub writes: u64,
     /// Queries executed.
     pub queries: u64,
+    /// Per-shard cumulative busy time (microseconds a query, write, or
+    /// maintenance operation held the shard), indexed by shard.
+    pub shard_busy_micros: Vec<u64>,
+    /// The parallelism degree the instance executes fan-out with.
+    pub parallelism: usize,
+}
+
+/// One shard behind its own lock, so scatter-gather paths touch shards
+/// independently instead of serializing on the instance.
+struct ShardSlot {
+    engine: RwLock<ShardEngine>,
+    /// Cumulative microseconds any operation held this shard's lock
+    /// (read or write side) — the per-shard busy-time counter surfaced
+    /// through [`EsdbStats::shard_busy_micros`].
+    busy_micros: AtomicU64,
+}
+
+impl ShardSlot {
+    fn new(engine: ShardEngine) -> Arc<Self> {
+        Arc::new(ShardSlot {
+            engine: RwLock::new(engine),
+            busy_micros: AtomicU64::new(0),
+        })
+    }
+
+    /// Runs `f` under the shard's write lock, charging elapsed time to
+    /// the busy counter.
+    fn with_write<R>(&self, f: impl FnOnce(&mut ShardEngine) -> R) -> R {
+        let t0 = Instant::now();
+        let mut engine = self.engine.write();
+        let r = f(&mut engine);
+        self.busy_micros
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        r
+    }
+
+    /// Runs `f` under the shard's read lock, charging elapsed time to
+    /// the busy counter.
+    fn with_read<R>(&self, f: impl FnOnce(&ShardEngine) -> R) -> R {
+        let t0 = Instant::now();
+        let engine = self.engine.read();
+        let r = f(&engine);
+        self.busy_micros
+            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        r
+    }
+}
+
+/// Per-shard application counts returned by [`Esdb::write_batch`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchApplied {
+    /// Operations applied in total.
+    pub total: usize,
+    /// `(shard, operations applied to it)`, ascending by shard.
+    pub per_shard: Vec<(ShardId, usize)>,
 }
 
 /// An embedded ESDB database.
 pub struct Esdb {
     schema: CollectionSchema,
     config: EsdbConfig,
-    shards: Vec<ShardEngine>,
+    shards: Vec<Arc<ShardSlot>>,
+    executor: Executor,
     rules: Arc<RwLock<RuleList>>,
     router: Router,
     monitor: WorkloadMonitor,
@@ -152,7 +224,7 @@ impl Esdb {
         for s in 0..config.n_shards {
             let mut sc = ShardConfig::new(config.data_dir.join(format!("shard-{s:04}")));
             sc.refresh_buffer_docs = config.refresh_buffer_docs;
-            shards.push(ShardEngine::open(schema.clone(), sc)?);
+            shards.push(ShardSlot::new(ShardEngine::open(schema.clone(), sc)?));
         }
         let rules = Arc::new(RwLock::new(RuleList::new()));
         let router = match config.routing {
@@ -165,9 +237,11 @@ impl Esdb {
             }
         };
         let balancer = LoadBalancer::new(config.balancer);
+        let executor = Executor::new(config.parallelism);
         Ok(Esdb {
             schema,
             shards,
+            executor,
             rules,
             router,
             monitor: WorkloadMonitor::new(),
@@ -183,6 +257,18 @@ impl Esdb {
     /// The collection schema.
     pub fn schema(&self) -> &CollectionSchema {
         &self.schema
+    }
+
+    /// The scatter-gather parallelism degree in effect.
+    pub fn parallelism(&self) -> usize {
+        self.executor.parallelism()
+    }
+
+    /// Changes the scatter-gather parallelism degree at runtime (`1` =
+    /// deterministic sequential, `0` = all available cores). Results are
+    /// identical across degrees; only wall-clock time changes.
+    pub fn set_parallelism(&mut self, degree: usize) {
+        self.executor = Executor::new(degree);
     }
 
     /// Inserts a document, returning the shard it was routed to.
@@ -207,15 +293,54 @@ impl Esdb {
     }
 
     /// Flushes a [`crate::WriteBatcher`]'s coalesced operations into the
-    /// database (the write-client workload-batching path, §3.1). Returns
-    /// how many operations were actually applied.
-    pub fn write_batch(&mut self, batcher: &mut crate::WriteBatcher) -> Result<usize> {
+    /// database (the write-client workload-batching path, §3.1).
+    ///
+    /// Operations are routed first, grouped by destination shard, and
+    /// each group applied under a single acquisition of its shard's
+    /// lock — groups for different shards run concurrently on the
+    /// executor. Returns how many operations each shard received.
+    pub fn write_batch(&mut self, batcher: &mut crate::WriteBatcher) -> Result<BatchApplied> {
         let ops = batcher.flush();
-        let n = ops.len();
+        // Route every op up front; grouping preserves arrival order
+        // within each shard, which is all replay semantics require
+        // (cross-shard order carries no meaning once routed).
+        let mut groups: Vec<(ShardId, Vec<WriteOp>)> = Vec::new();
         for op in ops {
-            self.write(op)?;
+            let (tenant, record, created_at) = op.routing();
+            let shard = self.router.route(tenant, record, created_at);
+            match groups.binary_search_by_key(&shard, |(s, _)| *s) {
+                Ok(i) => groups[i].1.push(op),
+                Err(i) => groups.insert(i, (shard, vec![op])),
+            }
         }
-        Ok(n)
+        let results: Vec<Result<usize>> = self.executor.map(&groups, |_, (shard, ops)| {
+            self.shards[shard.index()].with_write(|engine| {
+                for op in ops {
+                    engine.apply(op)?;
+                }
+                Ok(ops.len())
+            })
+        });
+        let mut applied = BatchApplied::default();
+        let node_count = self.node_count();
+        for ((shard, ops), result) in groups.iter().zip(results) {
+            let n = result?;
+            applied.total += n;
+            applied.per_shard.push((*shard, n));
+            for op in ops {
+                let (tenant, _, _) = op.routing();
+                self.monitor.record_write(
+                    tenant,
+                    *shard,
+                    NodeId(shard.0 % node_count),
+                    op.doc.approx_size() as u64,
+                );
+            }
+            self.writes_total += n as u64;
+            self.writes_since_balance += n as u64;
+        }
+        self.maybe_rebalance();
+        Ok(applied)
     }
 
     /// Applies a raw write operation.
@@ -223,17 +348,28 @@ impl Esdb {
         let (tenant, record, created_at) = op.routing();
         let shard = self.router.route(tenant, record, created_at);
         let bytes = op.doc.approx_size() as u64;
-        self.shards[shard.index()].apply(&op)?;
+        self.shards[shard.index()].with_write(|engine| engine.apply(&op))?;
+        let node_count = self.node_count();
         self.monitor
-            .record_write(tenant, shard, NodeId(shard.0 % 4), bytes);
+            .record_write(tenant, shard, NodeId(shard.0 % node_count), bytes);
         self.writes_total += 1;
         self.writes_since_balance += 1;
+        self.maybe_rebalance();
+        Ok(shard)
+    }
+
+    /// The worker-node count shards map onto (from the balancer's offset
+    /// policy, which models consecutive shards on consecutive nodes).
+    fn node_count(&self) -> u32 {
+        self.config.balancer.offset.node_count.max(1)
+    }
+
+    fn maybe_rebalance(&mut self) {
         if self.config.balance_every_writes > 0
             && self.writes_since_balance >= self.config.balance_every_writes
         {
             self.rebalance();
         }
-        Ok(shard)
     }
 
     /// Runs one balancing pass now (Algorithm 1 runtime phase): detect
@@ -256,26 +392,34 @@ impl Esdb {
     }
 
     /// Makes all buffered writes searchable (near-real-time refresh).
+    /// Shards refresh concurrently on the executor.
     pub fn refresh(&mut self) {
-        for s in &mut self.shards {
-            s.refresh();
-        }
+        self.executor.map(&self.shards, |_, slot| {
+            slot.with_write(|engine| engine.refresh());
+        });
     }
 
     /// Durably flushes all shards (segments + commit points, translog
-    /// roll).
+    /// roll). Shards flush concurrently; the first error (by shard
+    /// order) is reported after every shard has completed its attempt.
     pub fn flush(&mut self) -> Result<()> {
-        for s in &mut self.shards {
-            s.flush()?;
-        }
-        Ok(())
+        self.executor
+            .map(&self.shards, |_, slot| {
+                slot.with_write(|engine| engine.flush())
+            })
+            .into_iter()
+            .collect()
     }
 
-    /// Runs the merge policy on every shard; returns merges performed.
+    /// Runs the merge policy on every shard concurrently; returns merges
+    /// performed.
     pub fn merge(&mut self) -> usize {
-        self.shards
-            .iter_mut()
-            .filter_map(|s| s.maybe_merge())
+        self.executor
+            .map(&self.shards, |_, slot| {
+                slot.with_write(|engine| engine.maybe_merge())
+            })
+            .into_iter()
+            .flatten()
             .count()
     }
 
@@ -294,16 +438,21 @@ impl Esdb {
         }
         self.queries_total += 1;
         // Record sub-attribute usage for frequency-based indexing.
-        record_attr_usage(&query.filter, &mut self.shards);
+        record_attr_usage(&query.filter, &self.shards);
         let span = self.route_query(&query);
-        let shard_results: Vec<QueryRows> = span
-            .iter()
-            .map(|shard| {
-                let engine = &self.shards[shard.index()];
+        // Scatter: each shard in the span executes independently under
+        // its read lock. The executor returns results in span order, so
+        // the gather below is deterministic for any parallelism degree.
+        let span_shards: Vec<ShardId> = span.iter().collect();
+        let query = &query;
+        let schema = &self.schema;
+        let shards = &self.shards;
+        let shard_results: Vec<QueryRows> = self.executor.map(&span_shards, |_, shard| {
+            shards[shard.index()].with_read(|engine| {
                 let segs: Vec<&Segment> = engine.segments().iter().collect();
-                execute_on_segments(&query, &self.schema, &segs, opts)
+                execute_on_segments(query, schema, &segs, opts)
             })
-            .collect();
+        });
         Ok(merge_results(
             shard_results,
             query.order_by.as_ref(),
@@ -336,21 +485,27 @@ impl Esdb {
             rules: self.rule_count(),
             writes: self.writes_total,
             queries: self.queries_total,
+            parallelism: self.executor.parallelism(),
             ..EsdbStats::default()
         };
-        for sh in &self.shards {
-            let st = sh.stats();
+        for slot in &self.shards {
+            let st = slot.engine.read().stats();
             s.live_docs += st.live_docs;
             s.buffered_docs += st.buffered_docs;
             s.segments += st.segments;
             s.size_bytes += st.size_bytes;
+            s.shard_busy_micros
+                .push(slot.busy_micros.load(Ordering::Relaxed));
         }
         s
     }
 
     /// Per-shard live-doc counts (for balance inspection).
     pub fn shard_doc_counts(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.stats().live_docs).collect()
+        self.shards
+            .iter()
+            .map(|slot| slot.engine.read().stats().live_docs)
+            .collect()
     }
 }
 
@@ -369,7 +524,7 @@ fn extract_tenant(e: &Expr) -> Option<TenantId> {
     }
 }
 
-fn record_attr_usage(e: &Expr, shards: &mut [ShardEngine]) {
+fn record_attr_usage(e: &Expr, shards: &[Arc<ShardSlot>]) {
     fn collect<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
         match e {
             Expr::AttrEq(name, _) => out.push(name),
@@ -386,9 +541,10 @@ fn record_attr_usage(e: &Expr, shards: &mut [ShardEngine]) {
     if names.is_empty() {
         return;
     }
-    for s in shards.iter_mut() {
+    for slot in shards {
+        let mut engine = slot.engine.write();
         for n in &names {
-            s.attr_tracker_mut().record(n);
+            engine.attr_tracker_mut().record(n);
         }
     }
 }
@@ -613,6 +769,148 @@ mod tests {
         assert_eq!(s.buffered_docs, 0);
         let total: usize = db.shard_doc_counts().iter().sum();
         assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn mixed_shard_batch_reports_per_shard_counts() {
+        let (mut db, _) = open("mixed-batch", |c| c.shards(8));
+        // Many tenants → ops hash to several distinct shards.
+        let mut batcher = crate::WriteBatcher::new();
+        for t in 0..40u64 {
+            batcher.push(WriteOp::insert(doc(t, t, 9_000 + t)));
+        }
+        assert_eq!(batcher.accepted(), 40);
+        let applied = db.write_batch(&mut batcher).unwrap();
+        assert_eq!(applied.total, 40);
+        assert!(
+            applied.per_shard.len() > 1,
+            "40 tenants should land on multiple shards: {:?}",
+            applied.per_shard
+        );
+        let sum: usize = applied.per_shard.iter().map(|(_, n)| n).sum();
+        assert_eq!(sum, 40);
+        // Ascending, unique shard ids.
+        let ids: Vec<u32> = applied.per_shard.iter().map(|(s, _)| s.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ids, sorted, "per-shard counts sorted and unique");
+        // Per-shard counts agree with where the data actually lives.
+        assert_eq!(db.stats().writes, 40);
+        db.refresh();
+        for (shard, n) in &applied.per_shard {
+            assert_eq!(
+                db.shard_doc_counts()[shard.index()],
+                *n,
+                "shard {shard:?} holds its batched rows"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_and_singles_agree() {
+        // The batched write path must land every op on the same shard the
+        // one-at-a-time path picks.
+        let (mut db_a, _) = open("batch-vs-single-a", |c| c.shards(8));
+        let (mut db_b, _) = open("batch-vs-single-b", |c| c.shards(8));
+        let mut batcher = crate::WriteBatcher::new();
+        for t in 0..30u64 {
+            let d = doc(t % 5, t, 4_000 + t);
+            batcher.push(WriteOp::insert(d.clone()));
+            db_b.insert(d).unwrap();
+        }
+        db_a.write_batch(&mut batcher).unwrap();
+        db_a.refresh();
+        db_b.refresh();
+        assert_eq!(db_a.shard_doc_counts(), db_b.shard_doc_counts());
+    }
+
+    #[test]
+    fn parallel_and_sequential_queries_agree() {
+        let sqls = [
+            "SELECT * FROM transaction_logs WHERE tenant_id = 777 AND status = 1 \
+             ORDER BY created_time DESC LIMIT 25",
+            "SELECT * FROM transaction_logs WHERE tenant_id = 777 \
+             ORDER BY created_time ASC LIMIT 50",
+            "SELECT * FROM transaction_logs WHERE status = 0",
+        ];
+        let (mut db, driver) = open("par-vs-seq", |c| c.shards(16).parallelism(1));
+        for r in 0..2_500u64 {
+            let tenant = if r % 10 < 9 { 777 } else { 1_000 + r };
+            db.insert(doc(tenant, r, driver.now() - 1)).unwrap();
+        }
+        db.rebalance();
+        driver.advance(10);
+        for r in 2_500..2_700u64 {
+            let t = driver.now();
+            db.insert(doc(777, r, t)).unwrap();
+            driver.advance(1);
+        }
+        db.refresh();
+        assert!(
+            db.read_span(TenantId(777)).len > 1,
+            "span must be parallel-worthy"
+        );
+        for sql in sqls {
+            assert_eq!(db.parallelism(), 1);
+            let sequential = db.query(sql).unwrap();
+            for degree in [2, 4, 8] {
+                db.set_parallelism(degree);
+                let parallel = db.query(sql).unwrap();
+                assert_eq!(
+                    parallel.docs, sequential.docs,
+                    "row-identical results required at parallelism {degree} for {sql}"
+                );
+                assert_eq!(parallel.postings_scanned, sequential.postings_scanned);
+                assert_eq!(parallel.docs_scanned, sequential.docs_scanned);
+            }
+            db.set_parallelism(1);
+        }
+    }
+
+    #[test]
+    fn busy_time_and_parallelism_surface_in_stats() {
+        let (mut db, _) = open("busy-stats", |c| c.shards(4).parallelism(2));
+        for r in 0..100 {
+            db.insert(doc(1, r, 100 + r)).unwrap();
+        }
+        db.refresh();
+        db.query("SELECT * FROM transaction_logs WHERE status = 1")
+            .unwrap();
+        let s = db.stats();
+        assert_eq!(s.parallelism, 2);
+        assert_eq!(s.shard_busy_micros.len(), 4);
+        // The refresh + fan-out query touched every shard; at least the
+        // tenant's write shard must have accumulated busy time.
+        assert!(
+            s.shard_busy_micros.iter().any(|&m| m > 0),
+            "busy counters never advanced: {:?}",
+            s.shard_busy_micros
+        );
+    }
+
+    #[test]
+    fn parallel_maintenance_matches_sequential_state() {
+        let mk = |name: &str, degree: usize| {
+            let (mut db, _) = open(name, |c| c.shards(8).parallelism(degree));
+            for r in 0..400u64 {
+                db.insert(doc(r % 7, r, 1_000 + r)).unwrap();
+            }
+            db.refresh();
+            for r in 400..800u64 {
+                db.insert(doc(r % 7, r, 1_000 + r)).unwrap();
+            }
+            db.refresh();
+            db.merge();
+            db.flush().unwrap();
+            db
+        };
+        let seq = mk("maint-seq", 1);
+        let par = mk("maint-par", 4);
+        assert_eq!(seq.shard_doc_counts(), par.shard_doc_counts());
+        let (a, b) = (seq.stats(), par.stats());
+        assert_eq!(a.live_docs, b.live_docs);
+        assert_eq!(a.segments, b.segments);
     }
 
     #[test]

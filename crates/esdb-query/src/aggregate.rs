@@ -157,6 +157,63 @@ mod tests {
     }
 
     #[test]
+    fn ascending_order_across_shards() {
+        let merged = merge_results(
+            vec![rows(4, 300), rows(4, 100), rows(4, 200)],
+            Some(&OrderBy {
+                column: "created_time".into(),
+                descending: false,
+            }),
+            Some(6),
+        );
+        let times: Vec<u64> = merged.docs.iter().map(|d| d.created_at).collect();
+        assert_eq!(times, vec![100, 101, 102, 103, 200, 201]);
+    }
+
+    #[test]
+    fn limit_larger_than_result_is_harmless() {
+        let merged = merge_results(
+            vec![rows(2, 10), rows(2, 20)],
+            Some(&OrderBy {
+                column: "created_time".into(),
+                descending: true,
+            }),
+            Some(100),
+        );
+        assert_eq!(merged.docs.len(), 4);
+    }
+
+    #[test]
+    fn ties_keep_shard_input_order() {
+        // Two shards produce rows with the SAME sort key; the stable
+        // merge must keep shard-A rows before shard-B rows. The parallel
+        // scatter-gather path relies on this: as long as per-shard
+        // results are gathered in span order, output is deterministic
+        // for any parallelism degree.
+        let mk = |shard: u64| QueryRows {
+            docs: (0..3)
+                .map(|i| {
+                    Document::builder(TenantId(1), RecordId(shard * 10 + i), 5_000)
+                        .field("status", 1i64)
+                        .build()
+                })
+                .collect(),
+            postings_scanned: 0,
+            docs_scanned: 0,
+        };
+        let merged = merge_results(
+            vec![mk(1), mk(2)],
+            Some(&OrderBy {
+                column: "created_time".into(),
+                descending: true,
+            }),
+            None,
+        );
+        let ids: Vec<u64> = merged.docs.iter().map(|d| d.record_id.raw()).collect();
+        assert_eq!(ids, vec![10, 11, 12, 20, 21, 22]);
+    }
+
+    #[test]
     fn aggregates() {
         let docs = rows(4, 10).docs; // amounts 10,11,12,13
         assert_eq!(aggregate(&docs, &AggFunc::Count), FieldValue::Int(4));

@@ -544,7 +544,11 @@ mod tests {
         }
         let s = ShardEngine::open(CollectionSchema::transaction_logs(), ShardConfig::new(&dir))
             .unwrap();
-        assert_eq!(s.stats().live_docs, 20, "pre-merge files must still be readable");
+        assert_eq!(
+            s.stats().live_docs,
+            20,
+            "pre-merge files must still be readable"
+        );
         for r in 0..20 {
             assert!(s.contains_record(r), "record {r} lost in the crash window");
         }

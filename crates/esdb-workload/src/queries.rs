@@ -60,14 +60,14 @@ impl QueryGenerator {
             },
             format!(
                 "province = '{}'",
-                ["zhejiang", "jiangsu", "guangdong", "shanghai"][self.rng.random_range(0..4)]
+                ["zhejiang", "jiangsu", "guangdong", "shanghai"][self.rng.random_range(0..4usize)]
             ),
             // Selective tail of the buyer-id space (5–30%).
             format!("buyer_id >= {}", self.rng.random_range(700_000..950_000)),
             // Full-text.
             format!(
                 "MATCH(auction_title, '{}')",
-                ["rust", "book", "phone", "coffee", "laptop"][self.rng.random_range(0..5)]
+                ["rust", "book", "phone", "coffee", "laptop"][self.rng.random_range(0..5usize)]
             ),
         ];
         // Shuffle and take 1..=6 distinct extra columns.

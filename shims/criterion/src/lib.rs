@@ -1,0 +1,276 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `criterion` with this minimal wall-clock harness. It reproduces the
+//! API subset the benches use — `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `black_box`,
+//! `criterion_group!` / `criterion_main!` — and reports median /
+//! min / max per-iteration times on stdout. No statistical analysis,
+//! plots, or HTML reports; timings are indicative, not criterion-grade.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported iteration timer handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_count),
+            sample_count,
+        }
+    }
+
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up: stabilize caches/allocator before sampling.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over fresh inputs produced by `setup` (setup time
+    /// excluded from the measurement).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_count {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// Identifier for parameterized benchmarks.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _parent: &'a mut Criterion,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{name}: no samples");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{group}/{name}: median {} (min {}, max {}, n={})",
+        fmt_duration(median),
+        fmt_duration(samples[0]),
+        fmt_duration(samples[samples.len() - 1]),
+        samples.len(),
+    );
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, id: impl IntoLabel, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run(id.into_label(), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.label, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher::new(self.sample_count);
+        f(&mut b);
+        report(&self.name, &label, &mut b.samples);
+    }
+
+    /// Ends the group (report already printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Conversion of the name argument accepted by `bench_function`.
+pub trait IntoLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_count = if self.sample_count == 0 {
+            20
+        } else {
+            self.sample_count
+        };
+        BenchmarkGroup {
+            name: name.into(),
+            sample_count,
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(name, f);
+        self
+    }
+
+    /// Overrides the default sample count for subsequent groups.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Prints the closing summary (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Identity function opaque to the optimizer (stable `std::hint::black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut ran = 0;
+        g.bench_function("noop", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim2");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `serde` with this stub. The workspace derives `Serialize` /
+//! `Deserialize` on wire-facing types to document serialization intent,
+//! but never invokes an actual serializer (no `serde_json` dependency) —
+//! so marker traits with derivable empty impls are sufficient. If a real
+//! serializer is ever added, replace this shim with the real crate (the
+//! derive attribute surface is identical for plain structs and enums).
+
+/// Marker for types whose serialized form is part of the wire contract.
+pub trait Serialize {}
+
+/// Marker for types deserializable from the wire contract.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

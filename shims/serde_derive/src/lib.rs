@@ -1,0 +1,61 @@
+//! Offline shim for `serde_derive`: emits *empty* impls of the marker
+//! traits in the sibling `serde` shim. Implemented directly on
+//! `proc_macro` (no syn/quote, which are unavailable offline).
+//!
+//! Supports plain (non-generic) structs and enums, which covers every
+//! derive site in the workspace. Deriving on a generic type is a
+//! compile error with a clear message rather than silently wrong code.
+
+use proc_macro::TokenStream;
+use std::str::FromStr;
+
+/// Extracts the type name following the `struct` / `enum` keyword,
+/// confirming the type has no generic parameters.
+fn type_name(input: &TokenStream) -> Result<String, String> {
+    let mut tokens = input.clone().into_iter();
+    // Non-matching tokens (outer attributes, visibility, doc comments)
+    // are skipped until the struct/enum keyword appears.
+    while let Some(tt) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(proc_macro::TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                if let Some(proc_macro::TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "the serde shim derive does not support generic type `{name}`"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err("no struct or enum found in derive input".into())
+}
+
+fn emit(input: TokenStream, make_impl: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(&input) {
+        Ok(name) => TokenStream::from_str(&make_impl(&name)).unwrap(),
+        Err(msg) => TokenStream::from_str(&format!("compile_error!({msg:?});")).unwrap(),
+    }
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}

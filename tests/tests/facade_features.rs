@@ -5,7 +5,7 @@ use esdb_common::{RecordId, TenantId};
 use esdb_core::{Esdb, EsdbConfig, WriteBatcher};
 use esdb_doc::{CollectionSchema, Document, FieldValue, WriteOp};
 use esdb_integration_tests::test_dir;
-use esdb_query::mapping::{to_sql_row, date_format};
+use esdb_query::mapping::{date_format, to_sql_row};
 use esdb_query::{optimize, parse_sql, translate};
 
 fn doc(r: u64, status: i64) -> Document {
@@ -34,7 +34,15 @@ fn workload_batching_end_to_end() {
     }
     assert_eq!(batcher.accepted(), 109);
     let applied = db.write_batch(&mut batcher).expect("batch");
-    assert_eq!(applied, 10, "109 client ops collapse to 10 server writes");
+    assert_eq!(
+        applied.total, 10,
+        "109 client ops collapse to 10 server writes"
+    );
+    let per_shard_sum: usize = applied.per_shard.iter().map(|(_, n)| n).sum();
+    assert_eq!(
+        per_shard_sum, applied.total,
+        "per-shard counts sum to total"
+    );
     db.refresh();
 
     let rows = db
@@ -97,7 +105,10 @@ fn plans_are_inspectable() {
     let plan = optimize(&q.filter, &CollectionSchema::transaction_logs());
     let rendered = plan.to_string();
     assert!(rendered.contains("Union"), "{rendered}");
-    assert!(rendered.contains("CompositeScan tenant_id_created_time"), "{rendered}");
+    assert!(
+        rendered.contains("CompositeScan tenant_id_created_time"),
+        "{rendered}"
+    );
     assert!(rendered.contains("ScanFilter"), "{rendered}");
     assert!(rendered.contains("IndexSearch"), "{rendered}");
 }

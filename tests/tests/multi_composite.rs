@@ -39,9 +39,8 @@ fn composite_name(p: &Plan) -> Option<String> {
 #[test]
 fn longest_match_prefers_deepest_composite() {
     // tenant + status + group equalities: the 3-column composite wins.
-    let p = plan_of(
-        "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 2 AND group = 3",
-    );
+    let p =
+        plan_of("SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 2 AND group = 3");
     assert_eq!(composite_name(&p).as_deref(), Some("tenant_status_group"));
 }
 
