@@ -132,6 +132,20 @@ fn main() {
     let mut results: Vec<Measurement> = Vec::new();
     let mut determinism_ok = true;
 
+    // Degrees above the host's core count only measure scheduler
+    // oversubscription, not scatter-gather: skip them, and say so in the
+    // JSON so downstream tooling knows the grid was narrowed on purpose.
+    let mut degrees = vec![1usize, 2, 4, 8];
+    if !degrees.contains(&cores) {
+        degrees.push(cores);
+    }
+    degrees.sort_unstable();
+    let skipped: Vec<usize> = degrees.iter().copied().filter(|&d| d > cores).collect();
+    degrees.retain(|&d| d <= cores);
+    for d in &skipped {
+        println!("scatter_gather: skipping parallelism={d} (> {cores} host cores)");
+    }
+
     for shards in [16u32, 64] {
         let mut db = build(shards);
 
@@ -147,12 +161,7 @@ fn main() {
             }
         }
 
-        let mut degrees = vec![1usize, 2, 4, 8];
-        if !degrees.contains(&cores) {
-            degrees.push(cores);
-        }
-        degrees.retain(|&d| d == 1 || d <= cores.max(2));
-        for degree in degrees {
+        for &degree in &degrees {
             let m = measure(&mut db, shards, degree);
             println!(
                 "scatter_gather/{} shards/parallelism={}: median {:.3} ms (min {:.3}, max {:.3})",
@@ -187,13 +196,13 @@ fn main() {
         }
     }
 
-    write_json(&results, cores, determinism_ok);
+    write_json(&results, cores, &skipped, determinism_ok);
     if !determinism_ok {
         std::process::exit(1);
     }
 }
 
-fn write_json(results: &[Measurement], cores: usize, determinism_ok: bool) {
+fn write_json(results: &[Measurement], cores: usize, skipped: &[usize], determinism_ok: bool) {
     let mut configs = String::new();
     for (i, m) in results.iter().enumerate() {
         let base = results
@@ -216,9 +225,15 @@ fn write_json(results: &[Measurement], cores: usize, determinism_ok: bool) {
             base as f64 / m.median_ns as f64,
         ));
     }
+    let skipped_json = skipped
+        .iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"bench\": \"scatter_gather\",\n  \"hot_tenant\": {HOT_TENANT},\n  \
          \"rows_per_shard\": {ROWS_PER_SHARD},\n  \"host_cores\": {cores},\n  \
+         \"skipped_degrees_above_host_cores\": [{skipped_json}],\n  \
          \"parallel_results_identical_to_sequential\": {determinism_ok},\n  \
          \"configs\": [\n{configs}\n  ]\n}}\n"
     );

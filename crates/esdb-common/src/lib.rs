@@ -14,9 +14,12 @@
 //! * the Zipf(θ) sampler ([`zipf::ZipfSampler`]) used by the paper's
 //!   workload generator (§6.1),
 //! * light-weight statistics helpers ([`stats`]) used by the monitor and the
-//!   benchmark harness, and
+//!   benchmark harness,
+//! * sharded weight-budgeted LRU caches ([`cache::ShardedCache`]) backing
+//!   the skew-aware query caches, and
 //! * the workspace-wide error type ([`error::EsdbError`]).
 
+pub mod cache;
 pub mod clock;
 pub mod error;
 pub mod exec;
@@ -26,6 +29,7 @@ pub mod ids;
 pub mod stats;
 pub mod zipf;
 
+pub use cache::{CacheStats, ShardedCache};
 pub use clock::{Clock, ManualClock, RealClock, SharedClock};
 pub use error::{EsdbError, Result};
 pub use exec::Executor;

@@ -2,13 +2,20 @@
 
 use esdb_balancer::{BalancerConfig, LoadBalancer, WorkloadMonitor};
 use esdb_common::exec::Executor;
+use esdb_common::fastmap::{fast_set, FastSet};
 use esdb_common::{
-    Clock, EsdbError, NodeId, RecordId, Result, ShardId, SharedClock, TenantId, TimestampMs,
+    CacheStats, Clock, EsdbError, NodeId, RecordId, Result, ShardId, ShardedCache, SharedClock,
+    TenantId, TimestampMs,
 };
 use esdb_doc::{CollectionSchema, Document, WriteOp};
-use esdb_index::Segment;
+use esdb_index::{Segment, SegmentId};
 use esdb_query::aggregate::merge_results;
-use esdb_query::{execute_on_segments, parse_sql, translate, Expr, Query, QueryOptions, QueryRows};
+use esdb_query::naive::naive_plan;
+use esdb_query::Expr;
+use esdb_query::{
+    execute_prepared_on_segments, optimize, parse_sql, query_fingerprint, translate,
+    FilterCacheContext, PreparedPlan, Query, QueryOptions, QueryRows, SegmentFilterCache,
+};
 use esdb_routing::{
     DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList, ShardSpan,
 };
@@ -51,6 +58,17 @@ pub struct EsdbConfig {
     /// thread (deterministic mode); `0` selects the number of available
     /// CPU cores.
     pub parallelism: usize,
+    /// Byte budget of the tier-1 segment filter cache. `0` = automatic:
+    /// ~1% of resident shard bytes (floor 256 KiB), retargeted on every
+    /// maintenance sweep.
+    pub query_cache_bytes: u64,
+    /// Entry budget of the tier-2 per-shard request cache (whole result
+    /// sets). Values below 16 are rounded up to 16.
+    pub request_cache_entries: u64,
+    /// Enables the tier-1 segment filter cache.
+    pub filter_cache_enabled: bool,
+    /// Enables the tier-2 request cache.
+    pub request_cache_enabled: bool,
 }
 
 impl EsdbConfig {
@@ -66,6 +84,10 @@ impl EsdbConfig {
             balancer: BalancerConfig::new(n_shards, n_shards.div_ceil(4).max(1)),
             refresh_buffer_docs: 0,
             parallelism: 0,
+            query_cache_bytes: 0,
+            request_cache_entries: 1_024,
+            filter_cache_enabled: true,
+            request_cache_enabled: true,
         }
     }
 
@@ -86,6 +108,39 @@ impl EsdbConfig {
     /// deterministic sequential, `0` = all available cores).
     pub fn parallelism(mut self, degree: usize) -> Self {
         self.parallelism = degree;
+        self
+    }
+
+    /// Overrides the filter-cache byte budget (`0` = automatic ~1% of
+    /// shard bytes).
+    pub fn query_cache_bytes(mut self, bytes: u64) -> Self {
+        self.query_cache_bytes = bytes;
+        self
+    }
+
+    /// Overrides the request-cache entry budget.
+    pub fn request_cache_entries(mut self, entries: u64) -> Self {
+        self.request_cache_entries = entries;
+        self
+    }
+
+    /// Enables/disables both query-cache tiers at once. With both off the
+    /// query path is exactly the uncached one.
+    pub fn query_caches(mut self, enabled: bool) -> Self {
+        self.filter_cache_enabled = enabled;
+        self.request_cache_enabled = enabled;
+        self
+    }
+
+    /// Enables/disables only the tier-1 segment filter cache.
+    pub fn filter_cache(mut self, enabled: bool) -> Self {
+        self.filter_cache_enabled = enabled;
+        self
+    }
+
+    /// Enables/disables only the tier-2 request cache.
+    pub fn request_cache(mut self, enabled: bool) -> Self {
+        self.request_cache_enabled = enabled;
         self
     }
 }
@@ -136,6 +191,10 @@ pub struct EsdbStats {
     pub shard_busy_micros: Vec<u64>,
     /// The parallelism degree the instance executes fan-out with.
     pub parallelism: usize,
+    /// Tier-1 segment filter cache counters (`bytes` = resident bytes).
+    pub filter_cache: CacheStats,
+    /// Tier-2 request cache counters (`bytes` = resident entries).
+    pub request_cache: CacheStats,
 }
 
 /// One shard behind its own lock, so scatter-gather paths touch shards
@@ -188,11 +247,30 @@ pub struct BatchApplied {
     pub per_shard: Vec<(ShardId, usize)>,
 }
 
+/// Key of one tier-2 entry: `(shard, search generation, query
+/// fingerprint)`. Any searchable-state change bumps the shard's
+/// generation, so stale entries become unreachable immediately and are
+/// reaped by the maintenance sweeps.
+type RequestCacheKey = (u32, u64, u128);
+
+/// Floor (and pre-data default) for the automatic filter-cache budget.
+const AUTO_FILTER_BUDGET_FLOOR: u64 = 256 * 1024;
+
+/// ~1% of resident shard bytes, with a floor so small datasets still
+/// cache.
+fn auto_filter_budget(shard_bytes: usize) -> u64 {
+    ((shard_bytes / 100) as u64).max(AUTO_FILTER_BUDGET_FLOOR)
+}
+
 /// An embedded ESDB database.
 pub struct Esdb {
     schema: CollectionSchema,
     config: EsdbConfig,
     shards: Vec<Arc<ShardSlot>>,
+    /// Tier-1: per-segment posting lists of cacheable sub-plans.
+    filter_cache: SegmentFilterCache,
+    /// Tier-2: whole per-shard result sets, keyed by search generation.
+    request_cache: ShardedCache<RequestCacheKey, Arc<QueryRows>>,
     executor: Executor,
     rules: Arc<RwLock<RuleList>>,
     router: Router,
@@ -238,9 +316,17 @@ impl Esdb {
         };
         let balancer = LoadBalancer::new(config.balancer);
         let executor = Executor::new(config.parallelism);
-        Ok(Esdb {
+        let filter_cache = SegmentFilterCache::new(if config.query_cache_bytes == 0 {
+            AUTO_FILTER_BUDGET_FLOOR
+        } else {
+            config.query_cache_bytes
+        });
+        let request_cache = ShardedCache::new(config.request_cache_entries.max(16));
+        let db = Esdb {
             schema,
             shards,
+            filter_cache,
+            request_cache,
             executor,
             rules,
             router,
@@ -251,7 +337,11 @@ impl Esdb {
             writes_total: 0,
             queries_total: 0,
             config,
-        })
+        };
+        // Recovered segments are already resident: point the automatic
+        // filter-cache budget at them right away.
+        db.sweep_caches();
+        Ok(db)
     }
 
     /// The collection schema.
@@ -397,30 +487,67 @@ impl Esdb {
         self.executor.map(&self.shards, |_, slot| {
             slot.with_write(|engine| engine.refresh());
         });
+        self.sweep_caches();
     }
 
     /// Durably flushes all shards (segments + commit points, translog
     /// roll). Shards flush concurrently; the first error (by shard
     /// order) is reported after every shard has completed its attempt.
     pub fn flush(&mut self) -> Result<()> {
-        self.executor
+        let result = self
+            .executor
             .map(&self.shards, |_, slot| {
                 slot.with_write(|engine| engine.flush())
             })
             .into_iter()
-            .collect()
+            .collect();
+        self.sweep_caches();
+        result
     }
 
     /// Runs the merge policy on every shard concurrently; returns merges
     /// performed.
     pub fn merge(&mut self) -> usize {
-        self.executor
+        let merged = self
+            .executor
             .map(&self.shards, |_, slot| {
                 slot.with_write(|engine| engine.maybe_merge())
             })
             .into_iter()
             .flatten()
-            .count()
+            .count();
+        self.sweep_caches();
+        merged
+    }
+
+    /// Reaps query-cache entries that can no longer be served — request
+    /// results from superseded generations, filter lists for merged-away
+    /// segments — and retargets the automatic filter-cache byte budget at
+    /// ~1% of resident shard bytes. Runs after every maintenance sweep;
+    /// correctness never depends on it (stale keys are unreachable by
+    /// construction), it just returns their memory.
+    fn sweep_caches(&self) {
+        let mut gens: Vec<u64> = Vec::with_capacity(self.shards.len());
+        let mut live: Vec<FastSet<SegmentId>> = Vec::with_capacity(self.shards.len());
+        let mut shard_bytes = 0usize;
+        for slot in &self.shards {
+            let engine = slot.engine.read();
+            gens.push(engine.search_generation());
+            let mut ids = fast_set();
+            for seg in engine.segments() {
+                ids.insert(seg.id);
+                shard_bytes += seg.size_bytes();
+            }
+            live.push(ids);
+        }
+        self.request_cache
+            .retain(|k| gens.get(k.0 as usize).is_some_and(|&g| g == k.1));
+        self.filter_cache
+            .retain(|k| live.get(k.0 as usize).is_some_and(|ids| ids.contains(&k.1)));
+        if self.config.query_cache_bytes == 0 {
+            self.filter_cache
+                .set_budget(auto_filter_budget(shard_bytes));
+        }
     }
 
     /// Executes a SQL query (parse → Xdriver4ES translate → route to the
@@ -440,17 +567,53 @@ impl Esdb {
         // Record sub-attribute usage for frequency-based indexing.
         record_attr_usage(&query.filter, &self.shards);
         let span = self.route_query(&query);
+        // Plan once per query: plans depend only on the filter and the
+        // schema, so every shard of the fan-out shares one plan (and one
+        // fingerprint annotation).
+        let plan = if opts.use_optimizer {
+            optimize(&query.filter, &self.schema)
+        } else {
+            naive_plan(&query.filter)
+        };
+        let prepared = PreparedPlan::new(&plan);
+        let fp = query_fingerprint(&plan, &query);
         // Scatter: each shard in the span executes independently under
         // its read lock. The executor returns results in span order, so
         // the gather below is deterministic for any parallelism degree.
         let span_shards: Vec<ShardId> = span.iter().collect();
         let query = &query;
-        let schema = &self.schema;
+        let prepared = &prepared;
         let shards = &self.shards;
+        let filter_cache = self
+            .config
+            .filter_cache_enabled
+            .then_some(&self.filter_cache);
+        let request_cache = self
+            .config
+            .request_cache_enabled
+            .then_some(&self.request_cache);
         let shard_results: Vec<QueryRows> = self.executor.map(&span_shards, |_, shard| {
             shards[shard.index()].with_read(|engine| {
+                // Tier 2: the whole per-shard result, keyed by the shard's
+                // search generation (bumped on every searchable-state
+                // change, so a hit is always current).
+                let key: RequestCacheKey = (shard.0, engine.search_generation(), fp);
+                if let Some(hit) = request_cache.and_then(|rc| rc.get(&key)) {
+                    return (*hit).clone();
+                }
                 let segs: Vec<&Segment> = engine.segments().iter().collect();
-                execute_on_segments(query, schema, &segs, opts)
+                // Tier 1: per-segment posting lists of cacheable
+                // sub-plans (namespaced by shard — segment ids repeat
+                // across shards).
+                let ctx = filter_cache.map(|cache| FilterCacheContext {
+                    cache,
+                    shard: shard.0,
+                });
+                let rows = execute_prepared_on_segments(query, prepared, &segs, ctx.as_ref());
+                if let Some(rc) = request_cache {
+                    rc.insert(key, Arc::new(rows.clone()), 1);
+                }
+                rows
             })
         });
         Ok(merge_results(
@@ -486,6 +649,8 @@ impl Esdb {
             writes: self.writes_total,
             queries: self.queries_total,
             parallelism: self.executor.parallelism(),
+            filter_cache: self.filter_cache.stats(),
+            request_cache: self.request_cache.stats(),
             ..EsdbStats::default()
         };
         for slot in &self.shards {
@@ -911,6 +1076,121 @@ mod tests {
         let (a, b) = (seq.stats(), par.stats());
         assert_eq!(a.live_docs, b.live_docs);
         assert_eq!(a.segments, b.segments);
+    }
+
+    #[test]
+    fn query_caches_hit_and_stay_correct_across_deletes() {
+        let (mut db, _) = open("cache-deletes", |c| c.shards(4));
+        for r in 0..200 {
+            db.insert(doc(7, r, 1_000 + r)).unwrap();
+        }
+        db.refresh();
+        let sql = "SELECT * FROM transaction_logs WHERE tenant_id = 7 AND status = 1 \
+                   ORDER BY created_time ASC LIMIT 50";
+        let first = db.query(sql).unwrap();
+        assert_eq!(first.docs.len(), 50);
+        let second = db.query(sql).unwrap();
+        assert_eq!(second.docs, first.docs);
+        let s = db.stats();
+        assert!(
+            s.request_cache.hits >= 1,
+            "repeat query must hit tier 2: {:?}",
+            s.request_cache
+        );
+        assert!(s.filter_cache.entries >= 1, "{:?}", s.filter_cache);
+        assert!(s.filter_cache.bytes > 0);
+        // Tombstone a matching row *without* a refresh: the generation
+        // bump makes the tier-2 entry unreachable and the tier-1 hit is
+        // re-filtered through the new liveness.
+        db.delete(TenantId(7), RecordId(1), 1_001).unwrap();
+        let third = db.query(sql).unwrap();
+        assert!(third.docs.iter().all(|d| d.record_id != RecordId(1)));
+        assert_eq!(third.docs.len(), 50, "limit refilled from later rows");
+        assert_ne!(third.docs, first.docs);
+    }
+
+    #[test]
+    fn caches_survive_merge_and_sweeps_reap_stale_entries() {
+        let (mut db, _) = open("cache-merge", |c| c.shards(2));
+        let sql = "SELECT * FROM transaction_logs WHERE tenant_id = 3 AND status = 0";
+        // Four same-tier segments on the tenant's shard, so the tiered
+        // policy fires.
+        for round in 0..4u64 {
+            for r in round * 50..(round + 1) * 50 {
+                db.insert(doc(3, r, 1_000 + r)).unwrap();
+            }
+            db.refresh();
+        }
+        let before = db.query(sql).unwrap();
+        db.query(sql).unwrap(); // warm both tiers
+        let entries_before = db.stats().filter_cache.entries;
+        assert!(entries_before >= 1);
+        let merged = db.merge();
+        assert!(merged >= 1, "merge policy should fold the segments");
+        // The sweep reaped every entry keyed by a merged-away segment and
+        // every request result from a superseded generation.
+        let s = db.stats();
+        assert_eq!(s.request_cache.entries, 0, "{:?}", s.request_cache);
+        let after = db.query(sql).unwrap();
+        assert_eq!(after.docs.len(), before.docs.len());
+        let mut a: Vec<_> = after.docs.iter().map(|d| d.record_id).collect();
+        let mut b: Vec<_> = before.docs.iter().map(|d| d.record_id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "merge must not change results");
+    }
+
+    #[test]
+    fn disabled_caches_restore_uncached_behavior() {
+        let (mut db_on, _) = open("cache-on", |c| c.shards(4));
+        let (mut db_off, _) = open("cache-off", |c| c.shards(4).query_caches(false));
+        for r in 0..150 {
+            db_on.insert(doc(9, r, 1_000 + r)).unwrap();
+            db_off.insert(doc(9, r, 1_000 + r)).unwrap();
+        }
+        db_on.refresh();
+        db_off.refresh();
+        let sqls = [
+            "SELECT * FROM transaction_logs WHERE tenant_id = 9 AND status = 0",
+            "SELECT * FROM transaction_logs WHERE tenant_id = 9 AND group = 3 \
+             ORDER BY created_time DESC LIMIT 10",
+            "SELECT * FROM transaction_logs WHERE status = 1",
+        ];
+        for sql in sqls {
+            for _ in 0..2 {
+                let a = db_on.query(sql).unwrap();
+                let b = db_off.query(sql).unwrap();
+                assert_eq!(a.docs, b.docs, "{sql}");
+            }
+        }
+        let s = db_off.stats();
+        assert_eq!(s.filter_cache.hits + s.filter_cache.misses, 0);
+        assert_eq!(s.filter_cache.entries, 0);
+        assert_eq!(s.request_cache.hits + s.request_cache.misses, 0);
+        assert_eq!(s.request_cache.entries, 0);
+        let s_on = db_on.stats();
+        assert!(s_on.request_cache.hits >= sqls.len() as u64);
+    }
+
+    #[test]
+    fn refresh_invalidates_request_cache() {
+        let (mut db, _) = open("cache-refresh", |c| c.shards(2));
+        for r in 0..60 {
+            db.insert(doc(5, r, 1_000 + r)).unwrap();
+        }
+        db.refresh();
+        let sql = "SELECT * FROM transaction_logs WHERE tenant_id = 5";
+        assert_eq!(db.query(sql).unwrap().docs.len(), 60);
+        db.query(sql).unwrap();
+        assert!(db.stats().request_cache.entries >= 1);
+        // New rows become searchable at refresh; the cached result for the
+        // old generation must not serve.
+        for r in 60..90 {
+            db.insert(doc(5, r, 1_000 + r)).unwrap();
+        }
+        db.refresh();
+        assert_eq!(db.stats().request_cache.entries, 0, "sweep reaped stale");
+        assert_eq!(db.query(sql).unwrap().docs.len(), 90);
     }
 
     #[test]

@@ -183,15 +183,23 @@ impl PostingList {
     }
 
     /// K-way intersection, smallest lists first (the optimizer's ordering).
+    ///
+    /// Sorting ascending by length bounds every intermediate result by the
+    /// smallest input and keeps the galloping search effective; any empty
+    /// input short-circuits the whole fold, and the first pairwise
+    /// intersection avoids cloning the smallest list outright.
     pub fn intersect_many(lists: &[&PostingList]) -> PostingList {
         match lists.len() {
             0 => PostingList::new(),
             1 => lists[0].clone(),
             _ => {
+                if lists.iter().any(|l| l.is_empty()) {
+                    return PostingList::new();
+                }
                 let mut order: Vec<&&PostingList> = lists.iter().collect();
-                order.sort_by_key(|l| l.len());
-                let mut acc = (*order[0]).clone();
-                for l in &order[1..] {
+                order.sort_unstable_by_key(|l| l.len());
+                let mut acc = order[0].intersect(order[1]);
+                for l in &order[2..] {
                     if acc.is_empty() {
                         break;
                     }
@@ -263,6 +271,22 @@ mod tests {
         assert_eq!(d, pl(&[3, 4]));
         let e = pl(&[6]);
         assert_eq!(d.union(&e), pl(&[3, 4, 6]));
+    }
+
+    #[test]
+    fn intersect_many_orders_by_length_and_short_circuits() {
+        // Inputs deliberately given largest-first: the result must be
+        // independent of input order.
+        let large = PostingList::from_sorted((0..10_000).collect());
+        let mid = pl(&[5, 50, 500, 5_000]);
+        let small = pl(&[50, 5_000]);
+        let fwd = PostingList::intersect_many(&[&large, &mid, &small]);
+        let rev = PostingList::intersect_many(&[&small, &mid, &large]);
+        assert_eq!(fwd, pl(&[50, 5_000]));
+        assert_eq!(fwd, rev);
+        // Any empty input empties the whole intersection immediately.
+        let empty = PostingList::new();
+        assert!(PostingList::intersect_many(&[&large, &empty, &mid]).is_empty());
     }
 
     #[test]

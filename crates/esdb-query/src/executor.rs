@@ -1,12 +1,24 @@
-//! Plan execution against segments.
+//! Plan execution against segments, with an optional segment filter cache.
+//!
+//! Caching model (tier 1 of the skew-aware query cache): segments are
+//! immutable between refresh/merge except for *monotone* tombstones (a doc
+//! can go live → deleted, never back). A cacheable sub-plan's posting list
+//! is therefore stored as computed and re-filtered through
+//! [`Segment::filter_live`] on every hit — any tombstone that landed after
+//! the entry was cached is re-applied, so cached and uncached execution
+//! return identical rows at all times. Merged-away segments can never
+//! serve stale entries because merges mint fresh segment ids and lookups
+//! only ever use ids from the current segment list.
 
 use crate::ast::{cmp_values, values_eq, Bound, Expr, Query};
 use crate::naive::naive_plan;
 use crate::optimizer::optimize;
 use crate::plan::Plan;
+use esdb_common::cache::ShardedCache;
 use esdb_doc::{CollectionSchema, Document, FieldValue};
-use esdb_index::{Analyzer, PostingList, Segment};
+use esdb_index::{Analyzer, PostingList, Segment, SegmentId};
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// Execution options.
 #[derive(Debug, Clone, Copy)]
@@ -84,42 +96,30 @@ fn index_predicate(
     work: &mut Work,
 ) -> PostingList {
     let out = match pred {
-        Expr::Eq(col, v) => {
-            if seg.has_numeric(col) {
-                if let Some(i) = to_i64(v) {
-                    seg.numeric_eq(col, i)
-                } else {
-                    return scan_predicate(pred, seg, &seg.all_live(), work);
-                }
-            } else if seg.has_numeric_f64(col) {
-                if let Some(x) = to_f64(v) {
-                    seg.numeric_f64_eq(col, x)
-                } else {
-                    return scan_predicate(pred, seg, &seg.all_live(), work);
-                }
-            } else if seg.has_inverted(col) {
-                match v {
-                    FieldValue::Str(s) => {
-                        // Keyword fields index raw values; text fields index
-                        // tokens — try raw first, then all-tokens semantics.
-                        let raw = seg.term_docs(col, s);
-                        if !raw.is_empty() {
-                            raw
-                        } else {
-                            match_terms(col, s, seg, analyzer, work)
-                        }
-                    }
-                    _ => return scan_predicate(pred, seg, &seg.all_live(), work),
-                }
-            } else {
-                return scan_predicate(pred, seg, &seg.all_live(), work);
-            }
-        }
+        Expr::Eq(col, v) => match eq_lookup(col, v, seg, analyzer, work) {
+            Some(list) => list,
+            None => return scan_predicate(pred, seg, &seg.all_live(), work),
+        },
         Expr::In(col, vals) => {
-            let lists: Vec<PostingList> = vals
-                .iter()
-                .map(|v| index_predicate(&Expr::Eq(col.clone(), v.clone()), seg, analyzer, work))
-                .collect();
+            // Union of per-value equality lookups. Each value borrows the
+            // column and literal directly — no per-value `Expr` trees are
+            // rebuilt on the indexed path.
+            let mut lists: Vec<PostingList> = Vec::with_capacity(vals.len());
+            for v in vals {
+                match eq_lookup(col, v, seg, analyzer, work) {
+                    Some(list) => {
+                        work.postings += list.len() as u64;
+                        lists.push(list);
+                    }
+                    None => {
+                        // No usable index in this segment: exact per-value
+                        // scan (the temporary Expr exists only on this
+                        // cold fallback path).
+                        let scan_pred = Expr::Eq(col.clone(), v.clone());
+                        lists.push(scan_predicate(&scan_pred, seg, &seg.all_live(), work));
+                    }
+                }
+            }
             let refs: Vec<&PostingList> = lists.iter().collect();
             PostingList::union_many(&refs)
         }
@@ -170,6 +170,40 @@ fn index_predicate(
     };
     work.postings += out.len() as u64;
     out
+}
+
+/// Resolves `col = v` through the best index the segment has, borrowing
+/// both operands. `None` means no index applies (undeclared column, or a
+/// value type the column's index cannot serve) and the caller must fall
+/// back to an exact scan.
+fn eq_lookup(
+    col: &str,
+    v: &FieldValue,
+    seg: &Segment,
+    analyzer: &Analyzer,
+    work: &mut Work,
+) -> Option<PostingList> {
+    if seg.has_numeric(col) {
+        to_i64(v).map(|i| seg.numeric_eq(col, i))
+    } else if seg.has_numeric_f64(col) {
+        to_f64(v).map(|x| seg.numeric_f64_eq(col, x))
+    } else if seg.has_inverted(col) {
+        match v {
+            FieldValue::Str(s) => {
+                // Keyword fields index raw values; text fields index
+                // tokens — try raw first, then all-tokens semantics.
+                let raw = seg.term_docs(col, s);
+                Some(if !raw.is_empty() {
+                    raw
+                } else {
+                    match_terms(col, s, seg, analyzer, work)
+                })
+            }
+            _ => None,
+        }
+    } else {
+        None
+    }
 }
 
 /// All analyzed terms of `text` must match (conjunction of term postings).
@@ -332,6 +366,142 @@ fn execute_plan(plan: &Plan, seg: &Segment, analyzer: &Analyzer, work: &mut Work
     }
 }
 
+/// Key of one cached per-segment filter result: `(routing shard, segment
+/// id, plan fingerprint)`. Segment ids are only unique *within* a shard
+/// (each shard engine numbers from 1), so the shard index is part of the
+/// key.
+pub type FilterCacheKey = (u32, SegmentId, u128);
+
+/// Tier-1 cache: per-segment posting lists of cacheable sub-plans,
+/// weighted by approximate resident bytes.
+pub type SegmentFilterCache = ShardedCache<FilterCacheKey, Arc<PostingList>>;
+
+/// Binds a shared [`SegmentFilterCache`] to the routing shard whose
+/// segments are being executed.
+pub struct FilterCacheContext<'a> {
+    /// The instance-wide filter cache.
+    pub cache: &'a SegmentFilterCache,
+    /// Routing shard the segments belong to (key namespace).
+    pub shard: u32,
+}
+
+/// Approximate resident weight of a cached posting list.
+fn posting_weight(list: &PostingList) -> u64 {
+    (list.len() * std::mem::size_of::<esdb_index::segment::DocId>() + 64) as u64
+}
+
+/// A plan annotated with fingerprints at its *maximal cacheable subtrees*,
+/// computed once per query and shared across every segment and shard the
+/// query fans out to.
+pub struct PreparedPlan<'p> {
+    plan: &'p Plan,
+    root: CacheNode<'p>,
+}
+
+enum CacheNode<'p> {
+    /// Root of a maximal cacheable subtree.
+    Cached { plan: &'p Plan, fp: u128 },
+    /// Non-cacheable scan residual over a (possibly cacheable) input.
+    ScanFilter {
+        input: Box<CacheNode<'p>>,
+        predicates: &'p [Expr],
+    },
+    /// Intersection with at least one non-cacheable child.
+    Intersect(Vec<CacheNode<'p>>),
+    /// Union with at least one non-cacheable child.
+    Union(Vec<CacheNode<'p>>),
+    /// Trivial leaf executed directly (`All` / `Empty`).
+    Direct(&'p Plan),
+}
+
+fn annotate(plan: &Plan) -> CacheNode<'_> {
+    if plan.cacheable() {
+        return CacheNode::Cached {
+            plan,
+            fp: plan.fingerprint(),
+        };
+    }
+    match plan {
+        Plan::ScanFilter { input, predicates } => CacheNode::ScanFilter {
+            input: Box::new(annotate(input)),
+            predicates,
+        },
+        Plan::Intersect(ps) => CacheNode::Intersect(ps.iter().map(annotate).collect()),
+        Plan::Union(ps) => CacheNode::Union(ps.iter().map(annotate).collect()),
+        other => CacheNode::Direct(other),
+    }
+}
+
+impl<'p> PreparedPlan<'p> {
+    /// Annotates `plan` for cached execution (fingerprints each maximal
+    /// cacheable subtree once).
+    pub fn new(plan: &'p Plan) -> Self {
+        PreparedPlan {
+            plan,
+            root: annotate(plan),
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &'p Plan {
+        self.plan
+    }
+}
+
+/// Executes one annotated node on one segment, consulting the cache at
+/// cacheable roots.
+fn execute_node(
+    node: &CacheNode<'_>,
+    seg: &Segment,
+    analyzer: &Analyzer,
+    work: &mut Work,
+    ctx: &FilterCacheContext<'_>,
+) -> PostingList {
+    match node {
+        CacheNode::Cached { plan, fp } => {
+            let key = (ctx.shard, seg.id, *fp);
+            if let Some(hit) = ctx.cache.get(&key) {
+                // Re-filter through the *current* tombstones: liveness is
+                // monotone, so this equals recomputing from scratch.
+                // Work counters stay untouched — a hit does none of the
+                // index work the counters measure.
+                return seg.filter_live((*hit).clone());
+            }
+            let out = execute_plan(plan, seg, analyzer, work);
+            ctx.cache
+                .insert(key, Arc::new(out.clone()), posting_weight(&out));
+            out
+        }
+        CacheNode::ScanFilter { input, predicates } => {
+            let mut acc = execute_node(input, seg, analyzer, work, ctx);
+            for p in *predicates {
+                if acc.is_empty() {
+                    break;
+                }
+                acc = scan_predicate(p, seg, &acc, work);
+            }
+            acc
+        }
+        CacheNode::Intersect(ns) => {
+            let lists: Vec<PostingList> = ns
+                .iter()
+                .map(|n| execute_node(n, seg, analyzer, work, ctx))
+                .collect();
+            let refs: Vec<&PostingList> = lists.iter().collect();
+            PostingList::intersect_many(&refs)
+        }
+        CacheNode::Union(ns) => {
+            let lists: Vec<PostingList> = ns
+                .iter()
+                .map(|n| execute_node(n, seg, analyzer, work, ctx))
+                .collect();
+            let refs: Vec<&PostingList> = lists.iter().collect();
+            PostingList::union_many(&refs)
+        }
+        CacheNode::Direct(plan) => execute_plan(plan, seg, analyzer, work),
+    }
+}
+
 /// Executes a full query over a set of segments (one shard's searchable
 /// state), applying ORDER BY and LIMIT.
 pub fn execute_on_segments(
@@ -355,12 +525,41 @@ pub fn execute_on_segments(
 /// appends `LIMIT 100` to every benchmark query precisely so fetch cost
 /// does not dominate).
 pub fn execute_plan_on_segments(query: &Query, plan: &Plan, segments: &[&Segment]) -> QueryRows {
+    collect_and_fetch(query, segments, |seg, analyzer, work| {
+        execute_plan(plan, seg, analyzer, work)
+    })
+}
+
+/// Executes a prepared plan with the segment filter cache. With
+/// `cache: None` this is byte-identical to [`execute_plan_on_segments`].
+pub fn execute_prepared_on_segments(
+    query: &Query,
+    prepared: &PreparedPlan<'_>,
+    segments: &[&Segment],
+    cache: Option<&FilterCacheContext<'_>>,
+) -> QueryRows {
+    match cache {
+        None => execute_plan_on_segments(query, prepared.plan, segments),
+        Some(ctx) => collect_and_fetch(query, segments, |seg, analyzer, work| {
+            execute_node(&prepared.root, seg, analyzer, work, ctx)
+        }),
+    }
+}
+
+/// The shared collection / sort / limit / fetch skeleton: runs `matcher`
+/// per segment, then applies ORDER BY and LIMIT and materializes only the
+/// surviving rows.
+fn collect_and_fetch(
+    query: &Query,
+    segments: &[&Segment],
+    mut matcher: impl FnMut(&Segment, &Analyzer, &mut Work) -> PostingList,
+) -> QueryRows {
     let analyzer = Analyzer::default();
     let mut work = Work::default();
     // Row-ID collection phase.
     let mut ids: Vec<(usize, esdb_index::segment::DocId)> = Vec::new();
     for (si, seg) in segments.iter().enumerate() {
-        let list = execute_plan(plan, seg, &analyzer, &mut work);
+        let list = matcher(seg, &analyzer, &mut work);
         ids.extend(list.iter().map(|d| (si, d)));
         // Without a sort we only need `limit` rows in total.
         if query.order_by.is_none() {
@@ -575,5 +774,70 @@ mod tests {
         );
         assert_eq!(rows.docs.len(), 50);
         assert!(rows.docs_scanned > 0, "fallback scanned stored docs");
+    }
+
+    #[test]
+    fn cached_execution_matches_uncached_across_tombstones() {
+        let mut seg = build_segment();
+        let schema = CollectionSchema::transaction_logs();
+        let q = translate(
+            parse_sql(
+                "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 0 \
+                 ORDER BY created_time ASC LIMIT 100",
+            )
+            .unwrap(),
+        );
+        let plan = optimize(&q.filter, &schema);
+        let prepared = PreparedPlan::new(&plan);
+        let cache = SegmentFilterCache::new(1 << 20);
+        let ctx = FilterCacheContext {
+            cache: &cache,
+            shard: 0,
+        };
+
+        let plain = execute_plan_on_segments(&q, &plan, &[&seg]);
+        let cold = execute_prepared_on_segments(&q, &prepared, &[&seg], Some(&ctx));
+        // A cold pass does exactly the uncached work.
+        assert_eq!(cold.docs, plain.docs);
+        assert_eq!(cold.postings_scanned, plain.postings_scanned);
+        assert_eq!(cold.docs_scanned, plain.docs_scanned);
+        assert!(cache.stats().entries >= 1, "cacheable sub-plan stored");
+
+        let warm = execute_prepared_on_segments(&q, &prepared, &[&seg], Some(&ctx));
+        assert_eq!(warm.docs, plain.docs);
+        assert!(cache.stats().hits >= 1, "warm pass must hit");
+
+        // Tombstones landing *after* the entry was cached must be applied
+        // on every subsequent hit.
+        let victims: Vec<RecordId> = plain.docs.iter().take(3).map(|d| d.record_id).collect();
+        assert_eq!(victims.len(), 3);
+        for v in &victims {
+            assert!(seg.delete_record(v.raw()));
+        }
+        let after = execute_prepared_on_segments(&q, &prepared, &[&seg], Some(&ctx));
+        let plain_after = execute_plan_on_segments(&q, &plan, &[&seg]);
+        assert_eq!(after.docs, plain_after.docs);
+        assert_eq!(after.docs.len(), plain.docs.len() - 3);
+        assert!(after.docs.iter().all(|d| !victims.contains(&d.record_id)));
+    }
+
+    #[test]
+    fn prepared_without_cache_is_the_plain_path() {
+        let seg = build_segment();
+        let schema = CollectionSchema::transaction_logs();
+        for sql in [
+            "SELECT * FROM transaction_logs WHERE tenant_id = 2 AND group IN (1, 3, 5)",
+            "SELECT * FROM transaction_logs WHERE status = 1 OR group = 2",
+            "SELECT * FROM transaction_logs WHERE MATCH(auction_title, 'rust book')",
+        ] {
+            let q = translate(parse_sql(sql).unwrap());
+            let plan = optimize(&q.filter, &schema);
+            let prepared = PreparedPlan::new(&plan);
+            let a = execute_plan_on_segments(&q, &plan, &[&seg]);
+            let b = execute_prepared_on_segments(&q, &prepared, &[&seg], None);
+            assert_eq!(a.docs, b.docs, "{sql}");
+            assert_eq!(a.postings_scanned, b.postings_scanned, "{sql}");
+            assert_eq!(a.docs_scanned, b.docs_scanned, "{sql}");
+        }
     }
 }

@@ -27,8 +27,11 @@ pub mod sql;
 pub mod xdriver;
 
 pub use ast::{Bound, Expr, OrderBy, Query};
-pub use executor::{execute_on_segments, QueryOptions, QueryRows};
+pub use executor::{
+    execute_on_segments, execute_plan_on_segments, execute_prepared_on_segments,
+    FilterCacheContext, FilterCacheKey, PreparedPlan, QueryOptions, QueryRows, SegmentFilterCache,
+};
 pub use optimizer::optimize;
-pub use plan::Plan;
+pub use plan::{query_fingerprint, Plan};
 pub use sql::parse_sql;
 pub use xdriver::translate;

@@ -77,6 +77,11 @@ pub struct ShardEngine {
     indexed_attrs: FastSet<String>,
     stats_refreshes: u64,
     stats_merges: u64,
+    /// Bumped whenever the *searchable* state changes: a tombstone lands
+    /// in a segment, a refresh adds one, or a merge replaces some. The
+    /// request cache keys whole results by this, so any change makes every
+    /// cached result for the shard unreachable.
+    generation: u64,
 }
 
 impl ShardEngine {
@@ -101,6 +106,7 @@ impl ShardEngine {
             indexed_attrs: fast_set(),
             stats_refreshes: 0,
             stats_merges: 0,
+            generation: 0,
             config,
         };
 
@@ -164,6 +170,7 @@ impl ShardEngine {
                     for seg in &mut self.segments {
                         if seg.delete_record(rid) {
                             self.dirty.insert(seg.id);
+                            self.generation += 1;
                             break;
                         }
                     }
@@ -179,6 +186,7 @@ impl ShardEngine {
                 for seg in &mut self.segments {
                     if seg.delete_record(rid) {
                         self.dirty.insert(seg.id);
+                        self.generation += 1;
                         break;
                     }
                 }
@@ -213,6 +221,7 @@ impl ShardEngine {
         );
         self.segments.push(seg);
         self.stats_refreshes += 1;
+        self.generation += 1;
         Some(id)
     }
 
@@ -252,6 +261,7 @@ impl ShardEngine {
         }
         self.segments.push(merged);
         self.stats_merges += 1;
+        self.generation += 1;
         new_id
     }
 
@@ -280,6 +290,13 @@ impl ShardEngine {
     /// The searchable segments (the query engine walks these).
     pub fn segments(&self) -> &[Segment] {
         &self.segments
+    }
+
+    /// Search generation: changes iff the result of some query over this
+    /// shard could change. Buffered (not-yet-refreshed) writes do *not*
+    /// bump it — they are invisible to search until refresh.
+    pub fn search_generation(&self) -> u64 {
+        self.generation
     }
 
     /// Looks up a live record across searchable segments, returning the
