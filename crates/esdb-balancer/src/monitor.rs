@@ -1,9 +1,33 @@
 //! The workload monitor (the "Monitor" component on the control layer of
 //! Fig. 3): collects per-tenant, per-shard and per-node write counters over
 //! a reporting period, and per-tenant storage totals.
+//!
+//! Counters live in an `esdb-telemetry` [`MetricsRegistry`] — by default a
+//! private one, or (via [`WorkloadMonitor::with_registry`]) the same
+//! registry the rest of the stack exposes through
+//! `Esdb::telemetry_snapshot()`, so the balancing loop's inputs are
+//! observable as `esdb_monitor_*` series. Period harvesting diffs the
+//! cumulative counters against a baseline taken at the previous harvest,
+//! which is what makes the counters double as externally-scrapeable
+//! monotone series.
 
 use esdb_common::fastmap::{fast_map, FastMap};
 use esdb_common::{NodeId, ShardId, TenantId};
+use esdb_telemetry::{Counter, Labels, MetricsRegistry};
+use std::sync::Arc;
+
+/// Cumulative writes per tenant.
+const TENANT_WRITES: &str = "esdb_monitor_tenant_writes_total";
+/// Cumulative writes per shard.
+const SHARD_WRITES: &str = "esdb_monitor_shard_writes_total";
+/// Cumulative writes per node.
+const NODE_WRITES: &str = "esdb_monitor_node_writes_total";
+/// Cumulative writes overall.
+const WRITES: &str = "esdb_monitor_writes_total";
+/// Cumulative storage bytes per tenant (Algorithm 1 line 5, `S(K)`).
+const TENANT_STORAGE: &str = "esdb_monitor_tenant_storage_bytes";
+/// Cumulative storage bytes overall.
+const STORAGE: &str = "esdb_monitor_storage_bytes_total";
 
 /// A snapshot of one reporting period.
 #[derive(Debug, Clone, Default)]
@@ -37,72 +61,158 @@ impl PeriodReport {
     }
 }
 
-/// Accumulates write events and storage sizes; `take_period` harvests and
-/// resets the periodic counters while storage totals persist.
-#[derive(Debug, Default)]
+/// Accumulates write events and storage sizes; `take_period` harvests the
+/// delta since the previous harvest while storage totals persist.
+#[derive(Debug)]
 pub struct WorkloadMonitor {
-    current: PeriodReport,
-    /// Cumulative storage bytes per tenant (Algorithm 1 line 5, `S(K)`).
-    storage: FastMap<TenantId, u64>,
-    storage_total: u64,
+    registry: Arc<MetricsRegistry>,
+    /// Cached handles for the unlabeled totals (hot-path: one atomic
+    /// add, no registry probe).
+    writes_total: Arc<Counter>,
+    storage_total: Arc<Counter>,
+    /// Counter values at the last `take_period`, so period reports are
+    /// deltas over monotone series.
+    base_tenant: FastMap<TenantId, u64>,
+    base_shard: FastMap<ShardId, u64>,
+    base_node: FastMap<NodeId, u64>,
+    base_total: u64,
+}
+
+impl Default for WorkloadMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl WorkloadMonitor {
-    /// Empty monitor.
+    /// Empty monitor over a private registry.
     pub fn new() -> Self {
+        Self::with_registry(Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Monitor recording into a shared registry (its `esdb_monitor_*`
+    /// series then appear in telemetry snapshots).
+    pub fn with_registry(registry: Arc<MetricsRegistry>) -> Self {
+        let writes_total = registry.counter(WRITES, Labels::none());
+        let storage_total = registry.counter(STORAGE, Labels::none());
         WorkloadMonitor {
-            current: PeriodReport::default(),
-            storage: fast_map(),
-            storage_total: 0,
+            registry,
+            writes_total,
+            storage_total,
+            base_tenant: fast_map(),
+            base_shard: fast_map(),
+            base_node: fast_map(),
+            base_total: 0,
         }
+    }
+
+    /// The registry the monitor records into.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Records one write routed to `shard` on `node`, adding `bytes` to the
     /// tenant's storage.
     pub fn record_write(&mut self, tenant: TenantId, shard: ShardId, node: NodeId, bytes: u64) {
-        *self.current.per_tenant.entry(tenant).or_insert(0) += 1;
-        *self.current.per_shard.entry(shard).or_insert(0) += 1;
-        *self.current.per_node.entry(node).or_insert(0) += 1;
-        self.current.total += 1;
-        *self.storage.entry(tenant).or_insert(0) += bytes;
-        self.storage_total += bytes;
+        self.registry
+            .add(TENANT_WRITES, Labels::tenant(tenant.0), 1);
+        self.registry.add(SHARD_WRITES, Labels::shard(shard.0), 1);
+        self.registry.add(NODE_WRITES, Labels::node(node.0), 1);
+        self.writes_total.inc();
+        self.registry
+            .add(TENANT_STORAGE, Labels::tenant(tenant.0), bytes);
+        self.storage_total.add(bytes);
     }
 
-    /// Harvests the current period's counters, resetting them for the next
-    /// period (Algorithm 1 line 13: "collect periodic write throughput").
+    /// The running period's counters as deltas over `base`, without
+    /// touching the baselines.
+    fn period_since_base(&self) -> PeriodReport {
+        let mut report = PeriodReport {
+            total: self.writes_total.get() - self.base_total,
+            ..PeriodReport::default()
+        };
+        for (labels, v) in self.registry.counters_with(TENANT_WRITES) {
+            let tenant = TenantId(labels.tenant.expect("tenant-labeled series"));
+            let delta = v - self.base_tenant.get(&tenant).copied().unwrap_or(0);
+            if delta > 0 {
+                report.per_tenant.insert(tenant, delta);
+            }
+        }
+        for (labels, v) in self.registry.counters_with(SHARD_WRITES) {
+            let shard = ShardId(labels.shard.expect("shard-labeled series"));
+            let delta = v - self.base_shard.get(&shard).copied().unwrap_or(0);
+            if delta > 0 {
+                report.per_shard.insert(shard, delta);
+            }
+        }
+        for (labels, v) in self.registry.counters_with(NODE_WRITES) {
+            let node = NodeId(labels.node.expect("node-labeled series"));
+            let delta = v - self.base_node.get(&node).copied().unwrap_or(0);
+            if delta > 0 {
+                report.per_node.insert(node, delta);
+            }
+        }
+        report
+    }
+
+    /// Harvests the current period's counters, resetting the period for
+    /// the next harvest (Algorithm 1 line 13: "collect periodic write
+    /// throughput"). The underlying counters stay monotone; only the
+    /// baselines move.
     pub fn take_period(&mut self) -> PeriodReport {
-        std::mem::take(&mut self.current)
+        let report = self.period_since_base();
+        for (labels, v) in self.registry.counters_with(TENANT_WRITES) {
+            self.base_tenant
+                .insert(TenantId(labels.tenant.expect("tenant-labeled series")), v);
+        }
+        for (labels, v) in self.registry.counters_with(SHARD_WRITES) {
+            self.base_shard
+                .insert(ShardId(labels.shard.expect("shard-labeled series")), v);
+        }
+        for (labels, v) in self.registry.counters_with(NODE_WRITES) {
+            self.base_node
+                .insert(NodeId(labels.node.expect("node-labeled series")), v);
+        }
+        self.base_total = self.writes_total.get();
+        report
     }
 
-    /// Read-only view of the running period.
-    pub fn current(&self) -> &PeriodReport {
-        &self.current
+    /// Snapshot of the running period (deltas since the last harvest).
+    pub fn current(&self) -> PeriodReport {
+        self.period_since_base()
     }
 
     /// Storage proportion `r = S(k) / ΣS` (Algorithm 1 line 7).
     pub fn storage_proportion(&self, k: TenantId) -> f64 {
-        if self.storage_total == 0 {
+        let total = self.storage_total.get();
+        if total == 0 {
             return 0.0;
         }
-        *self.storage.get(&k).unwrap_or(&0) as f64 / self.storage_total as f64
+        self.registry
+            .counter_value(TENANT_STORAGE, Labels::tenant(k.0)) as f64
+            / total as f64
     }
 
     /// All tenants with recorded storage.
     pub fn storage_tenants(&self) -> impl Iterator<Item = (TenantId, u64)> + '_ {
-        self.storage.iter().map(|(k, v)| (*k, *v))
+        self.registry
+            .counters_with(TENANT_STORAGE)
+            .into_iter()
+            .filter(|&(_, v)| v > 0)
+            .map(|(labels, v)| (TenantId(labels.tenant.expect("tenant-labeled series")), v))
     }
 
     /// Total storage bytes.
     pub fn storage_total(&self) -> u64 {
-        self.storage_total
+        self.storage_total.get()
     }
 
     /// Bulk-loads a storage snapshot (used to seed the initialization phase
     /// from an existing cluster's state).
     pub fn load_storage(&mut self, sizes: impl IntoIterator<Item = (TenantId, u64)>) {
         for (k, b) in sizes {
-            *self.storage.entry(k).or_insert(0) += b;
-            self.storage_total += b;
+            self.registry.add(TENANT_STORAGE, Labels::tenant(k.0), b);
+            self.storage_total.add(b);
         }
     }
 }
@@ -154,5 +264,36 @@ mod tests {
         m.load_storage([(TenantId(1), 900), (TenantId(2), 100)]);
         assert!((m.storage_proportion(TenantId(1)) - 0.9).abs() < 1e-12);
         assert_eq!(m.storage_total(), 1000);
+    }
+
+    #[test]
+    fn counters_stay_monotone_across_harvests() {
+        let mut m = WorkloadMonitor::new();
+        m.record_write(TenantId(1), ShardId(0), NodeId(0), 10);
+        assert_eq!(m.take_period().total, 1);
+        m.record_write(TenantId(1), ShardId(0), NodeId(0), 10);
+        m.record_write(TenantId(2), ShardId(1), NodeId(1), 10);
+        let p = m.take_period();
+        assert_eq!(p.total, 2, "second period sees only its own writes");
+        assert_eq!(p.per_tenant[&TenantId(1)], 1);
+        assert!(!p.per_shard.contains_key(&ShardId(2)));
+        // The registry series kept counting from the start.
+        assert_eq!(
+            m.registry().counter_value(TENANT_WRITES, Labels::tenant(1)),
+            2
+        );
+        assert_eq!(m.take_period().total, 0, "drained");
+    }
+
+    #[test]
+    fn shared_registry_exposes_monitor_series() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut m = WorkloadMonitor::with_registry(Arc::clone(&registry));
+        m.record_write(TenantId(3), ShardId(1), NodeId(0), 64);
+        assert_eq!(registry.counter_value(WRITES, Labels::none()), 1);
+        assert_eq!(
+            registry.counter_value(TENANT_STORAGE, Labels::tenant(3)),
+            64
+        );
     }
 }

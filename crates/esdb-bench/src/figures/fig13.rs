@@ -39,10 +39,22 @@ pub fn run(quick: bool) {
                 bytes_at_warmup = cluster.report_so_far().per_shard_bytes.clone();
             }
         }
+        // Per-node completion-delay percentiles from the sim's telemetry
+        // histograms (`esdb_sim_write_delay_ms{node}`).
+        let delay_qs = cluster.node_delay_quantiles(&[0.5, 0.99]);
         let r = cluster.finish();
 
-        println!("\n({}) per-node throughput and CPU usage", policy.label());
-        let mut t = Table::new(&["node", "tput (TPS)", "cpu (%)"]);
+        println!(
+            "\n({}) per-node throughput, CPU usage, and write delay",
+            policy.label()
+        );
+        let mut t = Table::new(&[
+            "node",
+            "tput (TPS)",
+            "cpu (%)",
+            "p50 delay (ms)",
+            "p99 (ms)",
+        ]);
         for (i, (tps, util)) in r
             .node_throughput_tps()
             .iter()
@@ -53,6 +65,8 @@ pub fn run(quick: bool) {
                 format!("{i}"),
                 fmt_k(*tps),
                 format!("{:.0}", util * 100.0),
+                format!("{}", delay_qs[i][0]),
+                format!("{}", delay_qs[i][1]),
             ]);
         }
         t.print();

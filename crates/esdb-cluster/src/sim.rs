@@ -7,6 +7,7 @@ use esdb_common::fastmap::{fast_map, FastMap};
 use esdb_common::{Clock, ManualClock, NodeId, ShardId, SharedClock, TenantId, TimestampMs};
 use esdb_consensus::{ConsensusConfig, FaultPlan, Master, Participant, RoundOutcome, RuleBody};
 use esdb_routing::{DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, ShardSpan};
+use esdb_telemetry::{Histogram, Labels, Telemetry, TelemetryConfig, TelemetrySnapshot};
 use esdb_workload::WriteEvent;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -196,6 +197,12 @@ pub struct SimCluster {
     balancer: LoadBalancer,
     monitor: WorkloadMonitor,
     fault_plan: FaultPlan,
+    /// Shared metrics: the monitor, master, and dynamic router record
+    /// into this registry; the sim adds per-node completion-delay
+    /// histograms (`esdb_sim_write_delay_ms{node}`).
+    telemetry: Arc<Telemetry>,
+    /// Cached per-node delay histogram handles, indexed by node.
+    node_delay_ms: Vec<Arc<Histogram>>,
     client_queue: VecDeque<WriteEvent>,
     isolated_queue: VecDeque<WriteEvent>,
     max_pending_work: f64,
@@ -219,22 +226,32 @@ impl SimCluster {
         let primary_node: Vec<u32> = (0..n).map(|s| s % cfg.n_nodes).collect();
         let replica_node: Vec<u32> = (0..n).map(|s| (s + 1) % cfg.n_nodes).collect();
 
+        let telemetry = Arc::new(Telemetry::new(TelemetryConfig::default()));
+        let node_delay_ms: Vec<Arc<Histogram>> = (0..cfg.n_nodes)
+            .map(|i| {
+                telemetry
+                    .registry()
+                    .histogram("esdb_sim_write_delay_ms", Labels::node(i))
+            })
+            .collect();
         let participants: Vec<Participant> = (0..cfg.n_nodes)
             .map(|i| Participant::new(NodeId(i)))
             .collect();
         let policy = match cfg.policy {
             PolicySpec::Hashing => PolicyImpl::Hash(HashRouting::new(n)),
             PolicySpec::DoubleHashing { s } => PolicyImpl::Double(DoubleHashRouting::new(n, s)),
-            PolicySpec::Dynamic => {
-                PolicyImpl::Dynamic(DynamicRouting::with_rules(n, participants[0].rules()))
-            }
+            PolicySpec::Dynamic => PolicyImpl::Dynamic(
+                DynamicRouting::with_rules(n, participants[0].rules())
+                    .with_telemetry(telemetry.registry()),
+            ),
         };
         let master = Master::new(
             clock.clone(),
             ConsensusConfig {
                 interval_t_ms: cfg.consensus_t_ms,
             },
-        );
+        )
+        .with_telemetry(Arc::clone(telemetry.registry()));
         let balancer = LoadBalancer::new(cfg.balancer);
         let max_pending_work = cfg.client.max_pending_secs * cfg.node_capacity_per_sec;
         let report = RunReport {
@@ -257,8 +274,10 @@ impl SimCluster {
             participants,
             master,
             balancer,
-            monitor: WorkloadMonitor::new(),
+            monitor: WorkloadMonitor::with_registry(Arc::clone(telemetry.registry())),
             fault_plan: FaultPlan::healthy(50),
+            telemetry,
+            node_delay_ms,
             client_queue: VecDeque::new(),
             isolated_queue: VecDeque::new(),
             max_pending_work,
@@ -367,6 +386,7 @@ impl SimCluster {
                     stats.completed += 1;
                     stats.delay_sum_ms += delay;
                     stats.max_delay_ms = stats.max_delay_ms.max(delay);
+                    self.node_delay_ms[i].record(delay);
                     self.report.per_node_completed[i] += 1;
                     self.report.per_shard_writes[shard.index()] += 1;
                     self.report.per_shard_bytes[shard.index()] += bytes as u64;
@@ -456,6 +476,29 @@ impl SimCluster {
     /// Number of writes currently waiting in client queues.
     pub fn backlog(&self) -> usize {
         self.client_queue.len() + self.isolated_queue.len()
+    }
+
+    /// The shared telemetry facade (monitor, consensus, routing, and
+    /// per-node delay series all record into its registry).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Point-in-time snapshot of every metric the run has produced.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Per-node completion-delay quantiles (ms), one row per node in
+    /// node order — the per-node latency axis of Figs. 13/14.
+    pub fn node_delay_quantiles(&self, qs: &[f64]) -> Vec<Vec<u64>> {
+        self.node_delay_ms
+            .iter()
+            .map(|h| {
+                let snap = h.snapshot();
+                qs.iter().map(|&q| snap.quantile(q)).collect()
+            })
+            .collect()
     }
 }
 
@@ -619,6 +662,59 @@ mod tests {
         let under = run(PolicySpec::DoubleHashing { s: 8 }, 1.0, 1_200.0, 20, |_| {});
         let over = run(PolicySpec::DoubleHashing { s: 8 }, 1.0, 4_000.0, 20, |_| {});
         assert!(over.avg_delay_ms(10_000) > under.avg_delay_ms(10_000) * 3.0);
+    }
+
+    #[test]
+    fn telemetry_tracks_completions_and_consensus() {
+        let cfg = ClusterConfig::small(PolicySpec::Dynamic);
+        let mut cluster = SimCluster::new(cfg.clone());
+        let mut gen = TraceGenerator::new(1_000, 1.2, RateSchedule::constant(1_500.0), 42);
+        for _ in 0..300 {
+            let now = cluster.now();
+            let events = gen.tick(now, cfg.tick_ms);
+            cluster.step(events);
+        }
+        let snap = cluster.telemetry_snapshot();
+        // Per-node delay histograms: one per node, counts matching the
+        // report's completions exactly.
+        let mut delay_counts = 0u64;
+        let mut delay_nodes = 0usize;
+        for (name, labels, h) in &snap.histograms {
+            if name == "esdb_sim_write_delay_ms" {
+                assert!(labels.node.is_some());
+                delay_counts += h.count();
+                delay_nodes += 1;
+            }
+        }
+        assert_eq!(delay_nodes, cfg.n_nodes as usize);
+        let completed: u64 = cluster
+            .report_so_far()
+            .ticks
+            .iter()
+            .map(|t| t.completed)
+            .sum();
+        assert_eq!(delay_counts, completed);
+        // Quantiles are monotone in q and bounded by the recorded max.
+        for row in cluster.node_delay_quantiles(&[0.5, 0.9, 0.99]) {
+            assert!(row[0] <= row[1] && row[1] <= row[2]);
+        }
+        // The dynamic run committed rules through consensus, and the
+        // monitor's series rode along in the same registry.
+        assert!(cluster.report_so_far().rules_committed > 0);
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, l, v)| n == "esdb_consensus_rounds_total"
+                && l.stage == Some("committed")
+                && *v > 0));
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, _, _)| n == "esdb_monitor_writes_total"));
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, _, v)| n == "esdb_routing_spread_writes_total" && *v > 0));
     }
 
     #[test]

@@ -1,6 +1,17 @@
 //! Statistics helpers used by the workload monitor and the benchmark
 //! harness (means, standard deviations, quantiles, fixed-resolution
 //! latency histograms).
+//!
+//! Quantiles and histograms delegate to `esdb-telemetry`, which owns the
+//! single codebase-wide interpolation rule (see
+//! `esdb_telemetry::histogram`): exact sample sets interpolate linearly
+//! between order statistics; bucketed histograms report the inclusive
+//! upper bound of the first bucket whose cumulative count reaches
+//! `ceil(q · n)`, clamped to the recorded max.
+
+use esdb_telemetry::HistogramSnapshot;
+
+pub use esdb_telemetry::{quantile, quantile_sorted};
 
 /// Online mean/variance accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default)]
@@ -106,131 +117,55 @@ pub fn stddev(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
 }
 
-/// Quantile via linear interpolation on a *sorted* slice. `q` in `[0,1]`.
-pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
-    match sorted.len() {
-        0 => 0.0,
-        1 => sorted[0],
-        n => {
-            let pos = q * (n - 1) as f64;
-            let lo = pos.floor() as usize;
-            let hi = pos.ceil() as usize;
-            let frac = pos - lo as f64;
-            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
-        }
-    }
-}
-
-/// Sorts a copy of `xs` and returns the `q`-quantile.
-pub fn quantile(xs: &[f64], q: f64) -> f64 {
-    let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-    quantile_sorted(&v, q)
-}
-
-/// A fixed-bucket latency histogram with exponentially-growing bucket
-/// bounds, good enough for p50/p90/p99/p999 reporting without storing every
-/// sample.
-#[derive(Debug, Clone)]
+/// A latency histogram for p50/p90/p99/p999 reporting without storing
+/// every sample. Thin microsecond-unit wrapper over the telemetry
+/// crate's log-bucketed [`HistogramSnapshot`] (16 sub-buckets per power
+/// of two, ≤6.25% relative bucket width).
+#[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
-    /// Upper bounds (exclusive) for each bucket, in microseconds.
-    bounds: Vec<u64>,
-    counts: Vec<u64>,
-    total: u64,
-    sum_us: u128,
-    max_us: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
+    inner: HistogramSnapshot,
 }
 
 impl LatencyHistogram {
-    /// Histogram covering 1 µs .. ~1.2 hours with ~4% resolution.
+    /// Empty histogram covering the full `u64` microsecond range.
     pub fn new() -> Self {
-        let mut bounds = Vec::new();
-        let mut b = 1.0f64;
-        while b < 4.3e9 {
-            bounds.push(b as u64);
-            b *= 1.04;
-        }
-        let n = bounds.len();
-        LatencyHistogram {
-            bounds,
-            counts: vec![0; n + 1],
-            total: 0,
-            sum_us: 0,
-            max_us: 0,
-        }
+        Self::default()
     }
 
     /// Records one latency observation in microseconds.
     pub fn record_us(&mut self, us: u64) {
-        let idx = self.bounds.partition_point(|&b| b <= us);
-        self.counts[idx] += 1;
-        self.total += 1;
-        self.sum_us += us as u128;
-        self.max_us = self.max_us.max(us);
+        self.inner.record(us);
     }
 
     /// Number of recorded observations.
     pub fn count(&self) -> u64 {
-        self.total
+        self.inner.count()
     }
 
     /// Mean latency in microseconds.
     pub fn mean_us(&self) -> f64 {
-        if self.total == 0 {
-            0.0
-        } else {
-            self.sum_us as f64 / self.total as f64
-        }
+        self.inner.mean()
     }
 
     /// Maximum recorded latency in microseconds.
     pub fn max_us(&self) -> u64 {
-        self.max_us
+        self.inner.max()
     }
 
-    /// Approximate `q`-quantile in microseconds.
+    /// Approximate `q`-quantile in microseconds (the canonical bucketed
+    /// rule from `esdb_telemetry::histogram`).
     pub fn quantile_us(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q));
-        if self.total == 0 {
-            return 0;
-        }
-        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
-        let mut acc = 0u64;
-        for (i, &c) in self.counts.iter().enumerate() {
-            acc += c;
-            if acc >= target {
-                return if i == 0 {
-                    self.bounds.first().copied().unwrap_or(0)
-                } else if i >= self.bounds.len() {
-                    self.max_us
-                } else {
-                    self.bounds[i]
-                };
-            }
-        }
-        self.max_us
+        self.inner.quantile(q)
     }
 
-    /// Merges another histogram (same construction) into this one.
+    /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &LatencyHistogram) {
-        assert_eq!(
-            self.bounds.len(),
-            other.bounds.len(),
-            "histogram shapes differ"
-        );
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum_us += other.sum_us;
-        self.max_us = self.max_us.max(other.max_us);
+        self.inner.merge(&other.inner);
+    }
+
+    /// The underlying telemetry snapshot.
+    pub fn snapshot(&self) -> &HistogramSnapshot {
+        &self.inner
     }
 }
 

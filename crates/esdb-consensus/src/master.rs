@@ -10,6 +10,8 @@ use crate::network::FaultPlan;
 use crate::participant::Participant;
 use esdb_common::{Clock, SharedClock, TimestampMs};
 use esdb_routing::SecondaryHashingRule;
+use esdb_telemetry::{Labels, MetricsRegistry};
+use std::sync::Arc;
 
 /// Protocol timing configuration (paper §4.3 "Choose of time interval").
 #[derive(Debug, Clone, Copy)]
@@ -65,12 +67,46 @@ impl RoundOutcome {
 pub struct Master {
     clock: SharedClock,
     config: ConsensusConfig,
+    registry: Option<Arc<MetricsRegistry>>,
 }
 
 impl Master {
     /// A master reading time from `clock`.
     pub fn new(clock: SharedClock, config: ConsensusConfig) -> Self {
-        Master { clock, config }
+        Master {
+            clock,
+            config,
+            registry: None,
+        }
+    }
+
+    /// Records rule-propagation metrics into `registry`:
+    /// `esdb_consensus_rounds_total{stage}` and the simulated-time
+    /// histograms `esdb_consensus_round_ms{stage}` (protocol latency) and
+    /// `esdb_consensus_commit_wait_ms` (the commit-wait interval `T`
+    /// between a committed rule's broadcast and its effective time).
+    pub fn with_telemetry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    fn record_outcome(&self, outcome: &RoundOutcome) {
+        let Some(reg) = &self.registry else {
+            return;
+        };
+        let (stage, round_ms) = match outcome {
+            RoundOutcome::Committed { round_ms, .. } => ("committed", *round_ms),
+            RoundOutcome::Aborted { round_ms, .. } => ("aborted", *round_ms),
+        };
+        reg.add("esdb_consensus_rounds_total", Labels::stage(stage), 1);
+        reg.observe("esdb_consensus_round_ms", Labels::stage(stage), round_ms);
+        if outcome.is_committed() {
+            reg.observe(
+                "esdb_consensus_commit_wait_ms",
+                Labels::none(),
+                self.config.interval_t_ms,
+            );
+        }
     }
 
     /// The configured commit-wait interval `T`.
@@ -125,7 +161,9 @@ impl Master {
                     participants[idx].on_abort();
                 }
             }
-            return RoundOutcome::Aborted { reason, round_ms };
+            let outcome = RoundOutcome::Aborted { reason, round_ms };
+            self.record_outcome(&outcome);
+            return outcome;
         }
 
         // Commit phase.
@@ -140,11 +178,13 @@ impl Master {
                 missed.push(p.id);
             }
         }
-        RoundOutcome::Committed {
+        let outcome = RoundOutcome::Committed {
             rule,
             missed,
             round_ms,
-        }
+        };
+        self.record_outcome(&outcome);
+        outcome
     }
 }
 
@@ -165,6 +205,42 @@ mod tests {
         );
         let parts = (0..n).map(|i| Participant::new(NodeId(i))).collect();
         (master, parts)
+    }
+
+    #[test]
+    fn telemetry_records_round_outcomes() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let (clock, driver) = SharedClock::manual(10_000);
+        driver.advance(0);
+        let master = Master::new(
+            clock,
+            ConsensusConfig {
+                interval_t_ms: 2_000,
+            },
+        )
+        .with_telemetry(Arc::clone(&registry));
+        let mut parts: Vec<Participant> = (0..3).map(|i| Participant::new(NodeId(i))).collect();
+        let plan = FaultPlan::healthy(50);
+        assert!(master
+            .run_round(&RuleBody::single(TenantId(1), 8), &mut parts, &plan)
+            .is_committed());
+        // Same instant → same effective time → reject → abort.
+        assert!(!master
+            .run_round(&RuleBody::single(TenantId(1), 4), &mut parts, &plan)
+            .is_committed());
+        assert_eq!(
+            registry.counter_value("esdb_consensus_rounds_total", Labels::stage("committed")),
+            1
+        );
+        assert_eq!(
+            registry.counter_value("esdb_consensus_rounds_total", Labels::stage("aborted")),
+            1
+        );
+        let wait = registry
+            .histogram("esdb_consensus_commit_wait_ms", Labels::none())
+            .snapshot();
+        assert_eq!(wait.count(), 1);
+        assert_eq!(wait.max(), 2_000);
     }
 
     #[test]

@@ -20,6 +20,10 @@ use esdb_routing::{
     DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList, ShardSpan,
 };
 use esdb_storage::{ShardConfig, ShardEngine};
+use esdb_telemetry::{
+    Histogram, Labels, MetricsRegistry, QueryTrace, SlowQueryEntry, Telemetry, TelemetryConfig,
+    TelemetrySnapshot,
+};
 use parking_lot::RwLock;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -69,6 +73,11 @@ pub struct EsdbConfig {
     pub filter_cache_enabled: bool,
     /// Enables the tier-2 request cache.
     pub request_cache_enabled: bool,
+    /// Telemetry knobs (metrics registry, trace sampling, slow-query
+    /// log). The workload monitor records into the shared registry
+    /// regardless of `telemetry.enabled` — balancing needs its counters —
+    /// but spans, stage histograms, and the slow log obey the switch.
+    pub telemetry: TelemetryConfig,
 }
 
 impl EsdbConfig {
@@ -88,6 +97,7 @@ impl EsdbConfig {
             request_cache_entries: 1_024,
             filter_cache_enabled: true,
             request_cache_enabled: true,
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -141,6 +151,19 @@ impl EsdbConfig {
     /// Enables/disables only the tier-2 request cache.
     pub fn request_cache(mut self, enabled: bool) -> Self {
         self.request_cache_enabled = enabled;
+        self
+    }
+
+    /// Enables/disables telemetry (latency histograms, stage tracing,
+    /// slow-query log).
+    pub fn telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry.enabled = enabled;
+        self
+    }
+
+    /// Overrides the full telemetry configuration.
+    pub fn telemetry_config(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -262,6 +285,30 @@ fn auto_filter_budget(shard_bytes: usize) -> u64 {
     ((shard_bytes / 100) as u64).max(AUTO_FILTER_BUDGET_FLOOR)
 }
 
+/// Cached end-to-end latency histogram handles, present iff telemetry
+/// is enabled. The hot paths then pay one clock read and one atomic
+/// bucket increment each; when absent the paths take a single branch.
+struct CoreTimers {
+    query_total: Arc<Histogram>,
+    write_total: Arc<Histogram>,
+    batch_total: Arc<Histogram>,
+}
+
+impl CoreTimers {
+    fn new(registry: &MetricsRegistry) -> Self {
+        CoreTimers {
+            query_total: registry.histogram("esdb_query_total_ns", Labels::none()),
+            write_total: registry.histogram("esdb_write_total_ns", Labels::none()),
+            batch_total: registry.histogram("esdb_write_batch_ns", Labels::none()),
+        }
+    }
+}
+
+/// Nanoseconds since `t0`, clamped into `u64`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// An embedded ESDB database.
 pub struct Esdb {
     schema: CollectionSchema,
@@ -280,6 +327,10 @@ pub struct Esdb {
     writes_since_balance: u64,
     writes_total: u64,
     queries_total: u64,
+    telemetry: Arc<Telemetry>,
+    timers: Option<CoreTimers>,
+    /// Baseline for [`Esdb::take_stats`] delta snapshots.
+    stats_base: EsdbStats,
 }
 
 impl Esdb {
@@ -298,10 +349,14 @@ impl Esdb {
         if config.n_shards == 0 {
             return Err(EsdbError::Config("n_shards must be > 0".into()));
         }
+        let telemetry = Arc::new(Telemetry::new(config.telemetry.clone()));
         let mut shards = Vec::with_capacity(config.n_shards as usize);
         for s in 0..config.n_shards {
             let mut sc = ShardConfig::new(config.data_dir.join(format!("shard-{s:04}")));
             sc.refresh_buffer_docs = config.refresh_buffer_docs;
+            if telemetry.enabled() {
+                sc = sc.with_telemetry(s, Arc::clone(&telemetry));
+            }
             shards.push(ShardSlot::new(ShardEngine::open(schema.clone(), sc)?));
         }
         let rules = Arc::new(RwLock::new(RuleList::new()));
@@ -311,7 +366,11 @@ impl Esdb {
                 Router::Double(DoubleHashRouting::new(config.n_shards, s))
             }
             RoutingMode::Dynamic => {
-                Router::Dynamic(DynamicRouting::with_rules(config.n_shards, rules.clone()))
+                let mut r = DynamicRouting::with_rules(config.n_shards, rules.clone());
+                if telemetry.enabled() {
+                    r = r.with_telemetry(telemetry.registry());
+                }
+                Router::Dynamic(r)
             }
         };
         let balancer = LoadBalancer::new(config.balancer);
@@ -322,6 +381,12 @@ impl Esdb {
             config.query_cache_bytes
         });
         let request_cache = ShardedCache::new(config.request_cache_entries.max(16));
+        // The monitor shares the telemetry registry, so the balancing
+        // loop's inputs surface as `esdb_monitor_*` series for free.
+        let monitor = WorkloadMonitor::with_registry(Arc::clone(telemetry.registry()));
+        let timers = telemetry
+            .enabled()
+            .then(|| CoreTimers::new(telemetry.registry()));
         let db = Esdb {
             schema,
             shards,
@@ -330,12 +395,15 @@ impl Esdb {
             executor,
             rules,
             router,
-            monitor: WorkloadMonitor::new(),
+            monitor,
             balancer,
             clock,
             writes_since_balance: 0,
             writes_total: 0,
             queries_total: 0,
+            telemetry,
+            timers,
+            stats_base: EsdbStats::default(),
             config,
         };
         // Recovered segments are already resident: point the automatic
@@ -390,20 +458,27 @@ impl Esdb {
     /// lock — groups for different shards run concurrently on the
     /// executor. Returns how many operations each shard received.
     pub fn write_batch(&mut self, batcher: &mut crate::WriteBatcher) -> Result<BatchApplied> {
+        let t0 = self.timers.as_ref().map(|_| Instant::now());
+        let trace = self.telemetry.should_trace().then(QueryTrace::new);
         let ops = batcher.flush();
         // Route every op up front; grouping preserves arrival order
         // within each shard, which is all replay semantics require
         // (cross-shard order carries no meaning once routed).
         let mut groups: Vec<(ShardId, Vec<WriteOp>)> = Vec::new();
-        for op in ops {
-            let (tenant, record, created_at) = op.routing();
-            let shard = self.router.route(tenant, record, created_at);
-            match groups.binary_search_by_key(&shard, |(s, _)| *s) {
-                Ok(i) => groups[i].1.push(op),
-                Err(i) => groups.insert(i, (shard, vec![op])),
+        {
+            let _span = trace.as_ref().map(|t| t.span("batch_group", 0));
+            for op in ops {
+                let (tenant, record, created_at) = op.routing();
+                let shard = self.router.route(tenant, record, created_at);
+                match groups.binary_search_by_key(&shard, |(s, _)| *s) {
+                    Ok(i) => groups[i].1.push(op),
+                    Err(i) => groups.insert(i, (shard, vec![op])),
+                }
             }
         }
+        let trace_ref = trace.as_ref();
         let results: Vec<Result<usize>> = self.executor.map(&groups, |_, (shard, ops)| {
+            let _span = trace_ref.map(|t| t.span_for_shard("apply", 0, Some(shard.0)));
             self.shards[shard.index()].with_write(|engine| {
                 for op in ops {
                     engine.apply(op)?;
@@ -429,12 +504,20 @@ impl Esdb {
             self.writes_total += n as u64;
             self.writes_since_balance += n as u64;
         }
+        if let (Some(t), Some(t0)) = (&self.timers, t0) {
+            t.batch_total.record(elapsed_ns(t0));
+        }
+        if let Some(trace) = trace {
+            self.telemetry
+                .record_stages("esdb_write_stage_ns", &trace.into_samples());
+        }
         self.maybe_rebalance();
         Ok(applied)
     }
 
     /// Applies a raw write operation.
     pub fn write(&mut self, op: WriteOp) -> Result<ShardId> {
+        let t0 = self.timers.as_ref().map(|_| Instant::now());
         let (tenant, record, created_at) = op.routing();
         let shard = self.router.route(tenant, record, created_at);
         let bytes = op.doc.approx_size() as u64;
@@ -444,6 +527,9 @@ impl Esdb {
             .record_write(tenant, shard, NodeId(shard.0 % node_count), bytes);
         self.writes_total += 1;
         self.writes_since_balance += 1;
+        if let (Some(t), Some(t0)) = (&self.timers, t0) {
+            t.write_total.record(elapsed_ns(t0));
+        }
         self.maybe_rebalance();
         Ok(shard)
     }
@@ -564,16 +650,24 @@ impl Esdb {
             return Err(EsdbError::UnknownCollection(query.table));
         }
         self.queries_total += 1;
+        let t0 = self.timers.as_ref().map(|_| Instant::now());
+        let trace = self.telemetry.should_trace().then(QueryTrace::new);
         // Record sub-attribute usage for frequency-based indexing.
         record_attr_usage(&query.filter, &self.shards);
-        let span = self.route_query(&query);
+        let span = {
+            let _span = trace.as_ref().map(|t| t.span("route", 0));
+            self.route_query(&query)
+        };
         // Plan once per query: plans depend only on the filter and the
         // schema, so every shard of the fan-out shares one plan (and one
         // fingerprint annotation).
-        let plan = if opts.use_optimizer {
-            optimize(&query.filter, &self.schema)
-        } else {
-            naive_plan(&query.filter)
+        let plan = {
+            let _span = trace.as_ref().map(|t| t.span("plan", 0));
+            if opts.use_optimizer {
+                optimize(&query.filter, &self.schema)
+            } else {
+                naive_plan(&query.filter)
+            }
         };
         let prepared = PreparedPlan::new(&plan);
         let fp = query_fingerprint(&plan, &query);
@@ -584,6 +678,7 @@ impl Esdb {
         let query = &query;
         let prepared = &prepared;
         let shards = &self.shards;
+        let trace_ref = trace.as_ref();
         let filter_cache = self
             .config
             .filter_cache_enabled
@@ -594,33 +689,72 @@ impl Esdb {
             .then_some(&self.request_cache);
         let shard_results: Vec<QueryRows> = self.executor.map(&span_shards, |_, shard| {
             shards[shard.index()].with_read(|engine| {
+                let t_exec = trace_ref.map(|_| Instant::now());
                 // Tier 2: the whole per-shard result, keyed by the shard's
                 // search generation (bumped on every searchable-state
                 // change, so a hit is always current).
                 let key: RequestCacheKey = (shard.0, engine.search_generation(), fp);
-                if let Some(hit) = request_cache.and_then(|rc| rc.get(&key)) {
-                    return (*hit).clone();
+                let hit = request_cache.and_then(|rc| rc.get(&key));
+                if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
+                    t.record("cache_probe", 0, Some(shard.0), elapsed_ns(t0));
                 }
-                let segs: Vec<&Segment> = engine.segments().iter().collect();
-                // Tier 1: per-segment posting lists of cacheable
-                // sub-plans (namespaced by shard — segment ids repeat
-                // across shards).
-                let ctx = filter_cache.map(|cache| FilterCacheContext {
-                    cache,
-                    shard: shard.0,
-                });
-                let rows = execute_prepared_on_segments(query, prepared, &segs, ctx.as_ref());
-                if let Some(rc) = request_cache {
-                    rc.insert(key, Arc::new(rows.clone()), 1);
+                let rows = match hit {
+                    Some(hit) => (*hit).clone(),
+                    None => {
+                        let segs: Vec<&Segment> = engine.segments().iter().collect();
+                        // Tier 1: per-segment posting lists of cacheable
+                        // sub-plans (namespaced by shard — segment ids
+                        // repeat across shards).
+                        let ctx = filter_cache.map(|cache| FilterCacheContext {
+                            cache,
+                            shard: shard.0,
+                        });
+                        let rows =
+                            execute_prepared_on_segments(query, prepared, &segs, ctx.as_ref());
+                        if let Some(rc) = request_cache {
+                            rc.insert(key, Arc::new(rows.clone()), 1);
+                        }
+                        rows
+                    }
+                };
+                // Every shard of the fan-out reports an execute sample —
+                // cache hits and empty result sets included — so a
+                // gather over k shards always sees exactly k samples and
+                // per-shard timing never has holes.
+                if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
+                    t.record("execute", 0, Some(shard.0), elapsed_ns(t0));
                 }
                 rows
             })
         });
-        Ok(merge_results(
-            shard_results,
-            query.order_by.as_ref(),
-            query.limit,
-        ))
+        let merged = {
+            let _span = trace_ref.map(|t| t.span("gather", 0));
+            merge_results(shard_results, query.order_by.as_ref(), query.limit)
+        };
+        let total_ns = t0.map(elapsed_ns);
+        if let (Some(t), Some(ns)) = (&self.timers, total_ns) {
+            t.query_total.record(ns);
+        }
+        let samples = trace.map(QueryTrace::into_samples);
+        if let Some(samples) = &samples {
+            self.telemetry.record_stages("esdb_query_stage_ns", samples);
+        }
+        // Slow-query detection is always on when telemetry is enabled;
+        // per-stage timings ride along only for trace-sampled queries.
+        if let Some(ns) = total_ns {
+            if ns >= self.telemetry.slow_threshold_ns() {
+                self.telemetry.log_slow(SlowQueryEntry {
+                    sql: sql.to_string(),
+                    plan: plan.to_string(),
+                    fingerprint: fp,
+                    tenant: extract_tenant(&query.filter).map(|t| t.0),
+                    fanout: span_shards.len() as u32,
+                    total_ns: ns,
+                    stages: samples.unwrap_or_default(),
+                });
+            }
+        }
+        Ok(merged)
     }
 
     /// The shard span a query will fan out to: the tenant's span when the
@@ -665,12 +799,93 @@ impl Esdb {
         s
     }
 
+    /// Like [`Esdb::stats`], but monotone fields — writes, queries,
+    /// per-shard busy time, cache hit/miss/eviction counters — are
+    /// returned as **deltas since the previous `take_stats` call** (or
+    /// since open), while level fields (docs, segments, bytes, rules,
+    /// cache residency, parallelism) stay absolute. Lets callers poll
+    /// for per-interval rates without keeping their own baselines.
+    pub fn take_stats(&mut self) -> EsdbStats {
+        let current = self.stats();
+        let base = &self.stats_base;
+        let mut out = current.clone();
+        out.writes = current.writes.saturating_sub(base.writes);
+        out.queries = current.queries.saturating_sub(base.queries);
+        for (i, v) in out.shard_busy_micros.iter_mut().enumerate() {
+            *v = v.saturating_sub(base.shard_busy_micros.get(i).copied().unwrap_or(0));
+        }
+        out.filter_cache = cache_delta(&current.filter_cache, &base.filter_cache);
+        out.request_cache = cache_delta(&current.request_cache, &base.request_cache);
+        self.stats_base = current;
+        out
+    }
+
+    /// The shared telemetry facade (registry, slow-query log, config).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Current slow-query log contents, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.telemetry.slow_queries()
+    }
+
+    /// Point-in-time snapshot of every metric, for Prometheus text or
+    /// JSON exposition. Instance-level gauges — cache counters, active
+    /// rules, per-shard busy time — are refreshed into the registry
+    /// first, so the snapshot is self-contained.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        if self.telemetry.enabled() {
+            let registry = self.telemetry.registry();
+            registry
+                .gauge("esdb_rules_active", Labels::none())
+                .set(self.rule_count() as i64);
+            for (tier, s) in [
+                ("filter", self.filter_cache.stats()),
+                ("request", self.request_cache.stats()),
+            ] {
+                let labels = Labels::stage(tier);
+                registry.gauge("esdb_cache_hits", labels).set(s.hits as i64);
+                registry
+                    .gauge("esdb_cache_misses", labels)
+                    .set(s.misses as i64);
+                registry
+                    .gauge("esdb_cache_evictions", labels)
+                    .set(s.evictions as i64);
+                registry
+                    .gauge("esdb_cache_entries", labels)
+                    .set(s.entries as i64);
+                registry
+                    .gauge("esdb_cache_weight", labels)
+                    .set(s.bytes as i64);
+            }
+            for (i, slot) in self.shards.iter().enumerate() {
+                registry
+                    .gauge("esdb_shard_busy_micros", Labels::shard(i as u32))
+                    .set(slot.busy_micros.load(Ordering::Relaxed) as i64);
+            }
+        }
+        self.telemetry.snapshot()
+    }
+
     /// Per-shard live-doc counts (for balance inspection).
     pub fn shard_doc_counts(&self) -> Vec<usize> {
         self.shards
             .iter()
             .map(|slot| slot.engine.read().stats().live_docs)
             .collect()
+    }
+}
+
+/// Delta of the monotone cache counters; residency (`bytes`, `entries`)
+/// stays absolute since those are levels, not totals.
+fn cache_delta(current: &CacheStats, base: &CacheStats) -> CacheStats {
+    CacheStats {
+        hits: current.hits.saturating_sub(base.hits),
+        misses: current.misses.saturating_sub(base.misses),
+        evictions: current.evictions.saturating_sub(base.evictions),
+        bytes: current.bytes,
+        entries: current.entries,
     }
 }
 
@@ -1191,6 +1406,122 @@ mod tests {
         db.refresh();
         assert_eq!(db.stats().request_cache.entries, 0, "sweep reaped stale");
         assert_eq!(db.query(sql).unwrap().docs.len(), 90);
+    }
+
+    #[test]
+    fn telemetry_snapshot_traces_and_slow_log() {
+        let (mut db, _) = open("telemetry-on", |c| {
+            c.shards(4).telemetry_config(TelemetryConfig {
+                trace_sample_every: 1,      // trace every request
+                slow_query_threshold_us: 0, // every query is "slow"
+                ..TelemetryConfig::default()
+            })
+        });
+        for r in 0..40 {
+            db.insert(doc(r % 6, r, 1_000 + r)).unwrap();
+        }
+        db.refresh();
+        // Tenantless fan-out: hits all 4 shards, most return few/no rows.
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE status = 1")
+            .unwrap();
+        assert!(!rows.docs.is_empty());
+        let snap = db.telemetry_snapshot();
+        let totals = snap
+            .histograms
+            .iter()
+            .find(|(n, _, _)| n == "esdb_query_total_ns")
+            .expect("query total histogram");
+        assert_eq!(totals.2.count(), 1);
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(n, _, _)| n == "esdb_write_total_ns"));
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, _, _)| n == "esdb_shard_busy_micros"));
+        // The slow log (threshold 0) captured the query with its trace.
+        let slow = db.slow_queries();
+        assert_eq!(slow.len(), 1);
+        let entry = &slow[0];
+        assert_eq!(entry.fanout, 4);
+        assert_eq!(entry.tenant, None);
+        assert!(entry.plan.contains("Filter") || !entry.plan.is_empty());
+        // Every shard of the fan-out reported an execute sample even
+        // though some shards contributed zero rows.
+        let execs: Vec<u32> = entry
+            .stages
+            .iter()
+            .filter(|s| s.stage == "execute")
+            .filter_map(|s| s.shard)
+            .collect();
+        assert_eq!(execs.len(), 4, "one execute sample per shard: {execs:?}");
+        for stage in ["route", "plan", "cache_probe", "gather"] {
+            assert!(
+                entry.stages.iter().any(|s| s.stage == stage),
+                "missing {stage} stage in {:?}",
+                entry.stages
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_disabled_records_nothing_extra() {
+        let (mut db, _) = open("telemetry-off", |c| c.shards(4).telemetry(false));
+        for r in 0..20 {
+            db.insert(doc(1, r, 1_000 + r)).unwrap();
+        }
+        db.refresh();
+        db.query("SELECT * FROM transaction_logs WHERE tenant_id = 1")
+            .unwrap();
+        let snap = db.telemetry_snapshot();
+        assert!(snap.histograms.is_empty(), "no latency histograms when off");
+        assert!(snap.gauges.is_empty(), "no injected gauges when off");
+        // The monitor still records into the shared registry (balancing
+        // depends on it), so counter series remain.
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, _, _)| n == "esdb_monitor_writes_total"));
+        assert!(db.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn take_stats_returns_deltas() {
+        let (mut db, _) = open("take-stats", |c| c.shards(4));
+        for r in 0..10 {
+            db.insert(doc(1, r, 1_000 + r)).unwrap();
+        }
+        db.refresh();
+        db.query("SELECT * FROM transaction_logs WHERE tenant_id = 1")
+            .unwrap();
+        let first = db.take_stats();
+        assert_eq!(first.writes, 10);
+        assert_eq!(first.queries, 1);
+        assert_eq!(first.live_docs, 10, "levels stay absolute");
+        for r in 10..15 {
+            db.insert(doc(1, r, 1_000 + r)).unwrap();
+        }
+        let second = db.take_stats();
+        assert_eq!(second.writes, 5, "delta since previous take");
+        assert_eq!(second.queries, 0);
+        assert_eq!(second.live_docs, 10, "levels stay absolute");
+        assert!(
+            second.shard_busy_micros.iter().sum::<u64>()
+                <= first.shard_busy_micros.iter().sum::<u64>()
+                    + db.stats().shard_busy_micros.iter().sum::<u64>()
+        );
+        // Cache *counters* are deltas, residency is a level.
+        let warm = db.query("SELECT * FROM transaction_logs WHERE tenant_id = 1");
+        warm.unwrap();
+        db.query("SELECT * FROM transaction_logs WHERE tenant_id = 1")
+            .unwrap();
+        let third = db.take_stats();
+        assert_eq!(third.queries, 2);
+        assert!(third.request_cache.hits >= 1);
+        let fourth = db.take_stats();
+        assert_eq!(fourth.request_cache.hits, 0, "hit counter drained");
     }
 
     #[test]

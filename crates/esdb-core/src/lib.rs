@@ -50,4 +50,5 @@ pub use esdb_query as query;
 pub use esdb_replication as replication;
 pub use esdb_routing as routing;
 pub use esdb_storage as storage;
+pub use esdb_telemetry as telemetry;
 pub use esdb_workload as workload;

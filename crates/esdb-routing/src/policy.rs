@@ -4,6 +4,7 @@ use crate::rules::RuleList;
 use crate::span::ShardSpan;
 use esdb_common::hash::{h1, h2};
 use esdb_common::{RecordId, ShardId, TenantId, TimestampMs};
+use esdb_telemetry::{Counter, Labels, MetricsRegistry};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -132,12 +133,22 @@ impl RoutingPolicy for DoubleHashRouting {
     }
 }
 
+/// Telemetry handles for the dynamic router: how many writes stayed on
+/// the tenant's base shard versus being spread by an active rule — the
+/// most direct observable of how much secondary hashing is doing.
+#[derive(Debug)]
+struct RouteCounters {
+    base: Arc<Counter>,
+    spread: Arc<Counter>,
+}
+
 /// Dynamic secondary hashing (Fig. 2c): the offset is looked up in the
 /// shared, consensus-replicated [`RuleList`].
 #[derive(Clone)]
 pub struct DynamicRouting {
     n: u32,
     rules: Arc<RwLock<RuleList>>,
+    counters: Option<Arc<RouteCounters>>,
 }
 
 impl DynamicRouting {
@@ -147,6 +158,7 @@ impl DynamicRouting {
         DynamicRouting {
             n,
             rules: Arc::new(RwLock::new(RuleList::new())),
+            counters: None,
         }
     }
 
@@ -154,7 +166,21 @@ impl DynamicRouting {
     /// a coordinator maintains from committed consensus decisions).
     pub fn with_rules(n: u32, rules: Arc<RwLock<RuleList>>) -> Self {
         assert!(n > 0);
-        DynamicRouting { n, rules }
+        DynamicRouting {
+            n,
+            rules,
+            counters: None,
+        }
+    }
+
+    /// Enables `esdb_routing_{base,spread}_writes_total` counters in
+    /// `registry` (handles are cached; per-write cost is one atomic add).
+    pub fn with_telemetry(mut self, registry: &MetricsRegistry) -> Self {
+        self.counters = Some(Arc::new(RouteCounters {
+            base: registry.counter("esdb_routing_base_writes_total", Labels::none()),
+            spread: registry.counter("esdb_routing_spread_writes_total", Labels::none()),
+        }));
+        self
     }
 
     /// Shared handle to the rule list (the balancer writes through this).
@@ -171,6 +197,13 @@ impl DynamicRouting {
 impl RoutingPolicy for DynamicRouting {
     fn route_write(&self, k1: TenantId, k2: RecordId, tc: TimestampMs) -> ShardId {
         let s = self.rules.read().offset_for_write(k1, tc);
+        if let Some(c) = &self.counters {
+            if s > 1 {
+                c.spread.inc();
+            } else {
+                c.base.inc();
+            }
+        }
         place(k1, k2, s.min(self.n), self.n)
     }
 
@@ -226,6 +259,24 @@ mod tests {
                 h.route_write(TenantId(k), RecordId(k * 7), 0)
             );
         }
+    }
+
+    #[test]
+    fn telemetry_counts_base_vs_spread_routing() {
+        let registry = MetricsRegistry::new();
+        let p = DynamicRouting::new(64).with_telemetry(&registry);
+        p.route_write(TenantId(9), RecordId(1), 100);
+        p.rules().write().update(50, 8, TenantId(9));
+        p.route_write(TenantId(9), RecordId(2), 100);
+        p.route_write(TenantId(10), RecordId(3), 100);
+        assert_eq!(
+            registry.counter_value("esdb_routing_base_writes_total", Labels::none()),
+            2
+        );
+        assert_eq!(
+            registry.counter_value("esdb_routing_spread_writes_total", Labels::none()),
+            1
+        );
     }
 
     #[test]

@@ -8,7 +8,10 @@ use esdb_common::Result;
 use esdb_doc::{CollectionSchema, Document, WriteKind, WriteOp};
 use esdb_index::merge::merge_segments;
 use esdb_index::{AttrFrequencyTracker, MergePolicy, Segment, SegmentId, TieredMergePolicy};
+use esdb_telemetry::{Histogram, Labels, Telemetry};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Shard engine configuration.
 #[derive(Debug, Clone)]
@@ -22,6 +25,10 @@ pub struct ShardConfig {
     pub refresh_buffer_docs: usize,
     /// Merge policy.
     pub merge: TieredMergePolicy,
+    /// Shard id used as the `shard` label on telemetry series.
+    pub shard: u32,
+    /// Shared telemetry; `None` (the default) records nothing.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 impl ShardConfig {
@@ -31,6 +38,46 @@ impl ShardConfig {
             dir: dir.into(),
             refresh_buffer_docs: 0,
             merge: TieredMergePolicy::default(),
+            shard: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches shared telemetry, labeling this engine's series `shard`.
+    pub fn with_telemetry(mut self, shard: u32, telemetry: Arc<Telemetry>) -> Self {
+        self.shard = shard;
+        self.telemetry = Some(telemetry);
+        self
+    }
+}
+
+/// Cached per-stage histogram handles (write-path stage taxonomy:
+/// `translog_append` and `index` sampled per-op, `refresh` / `merge` /
+/// `flush` timed unconditionally since they are rare).
+struct StageTimers {
+    telemetry: Arc<Telemetry>,
+    translog_append: Arc<Histogram>,
+    index: Arc<Histogram>,
+    refresh: Arc<Histogram>,
+    merge: Arc<Histogram>,
+    flush: Arc<Histogram>,
+}
+
+impl StageTimers {
+    fn new(shard: u32, telemetry: Arc<Telemetry>) -> Self {
+        let h = |stage: &'static str| {
+            telemetry.registry().histogram(
+                "esdb_storage_stage_ns",
+                Labels::stage(stage).with_shard(shard),
+            )
+        };
+        StageTimers {
+            translog_append: h("translog_append"),
+            index: h("index"),
+            refresh: h("refresh"),
+            merge: h("merge"),
+            flush: h("flush"),
+            telemetry,
         }
     }
 }
@@ -50,6 +97,18 @@ pub struct ShardStats {
     pub refreshes: u64,
     /// Merges performed.
     pub merges: u64,
+}
+
+/// Nanoseconds from `t0` to now, saturating into `u64`.
+#[inline]
+fn ns_since(t0: Instant) -> u64 {
+    ns_between(t0, Instant::now())
+}
+
+/// Nanoseconds from `t0` to `t1`, saturating into `u64`.
+#[inline]
+fn ns_between(t0: Instant, t1: Instant) -> u64 {
+    t1.duration_since(t0).as_nanos().min(u64::MAX as u128) as u64
 }
 
 /// A single shard's storage engine.
@@ -77,6 +136,7 @@ pub struct ShardEngine {
     indexed_attrs: FastSet<String>,
     stats_refreshes: u64,
     stats_merges: u64,
+    timers: Option<StageTimers>,
     /// Bumped whenever the *searchable* state changes: a tombstone lands
     /// in a segment, a refresh adds one, or a merge replaces some. The
     /// request cache keys whole results by this, so any change makes every
@@ -90,6 +150,11 @@ impl ShardEngine {
     pub fn open(schema: CollectionSchema, config: ShardConfig) -> Result<Self> {
         std::fs::create_dir_all(&config.dir)?;
         let translog = Translog::open(config.dir.join("translog"))?;
+        let timers = config
+            .telemetry
+            .as_ref()
+            .filter(|t| t.enabled())
+            .map(|t| StageTimers::new(config.shard, Arc::clone(t)));
 
         let mut engine = ShardEngine {
             schema,
@@ -106,6 +171,7 @@ impl ShardEngine {
             indexed_attrs: fast_set(),
             stats_refreshes: 0,
             stats_merges: 0,
+            timers,
             generation: 0,
             config,
         };
@@ -137,9 +203,27 @@ impl ShardEngine {
     }
 
     /// Applies one write: translog first (durability), then memory.
+    /// Per-op stage timing (translog append, in-memory index) is trace
+    /// sampled — a translog append is microsecond-scale, so reading the
+    /// clock on every op would itself be measurable.
     pub fn apply(&mut self, op: &WriteOp) -> Result<()> {
-        self.translog.append(op)?;
-        self.apply_to_memory(op);
+        let sampled = self
+            .timers
+            .as_ref()
+            .is_some_and(|t| t.telemetry.should_trace());
+        if sampled {
+            let t0 = Instant::now();
+            self.translog.append(op)?;
+            let t1 = Instant::now();
+            self.apply_to_memory(op);
+            let t2 = Instant::now();
+            let t = self.timers.as_ref().expect("sampled implies timers");
+            t.translog_append.record(ns_between(t0, t1));
+            t.index.record(ns_between(t1, t2));
+        } else {
+            self.translog.append(op)?;
+            self.apply_to_memory(op);
+        }
         if self.config.refresh_buffer_docs > 0
             && self.live_buffer_len() >= self.config.refresh_buffer_docs
         {
@@ -198,6 +282,7 @@ impl ShardEngine {
     /// searchable segment. Returns the new segment id, or `None` if the
     /// buffer was empty.
     pub fn refresh(&mut self) -> Option<SegmentId> {
+        let t0 = self.timers.as_ref().map(|_| Instant::now());
         // Re-rank indexed sub-attributes before building (frequency-based
         // indexing responds to drift).
         if self.schema.attr_index_top_k > 0 {
@@ -222,6 +307,9 @@ impl ShardEngine {
         self.segments.push(seg);
         self.stats_refreshes += 1;
         self.generation += 1;
+        if let (Some(t), Some(t0)) = (&self.timers, t0) {
+            t.refresh.record(ns_since(t0));
+        }
         Some(id)
     }
 
@@ -242,6 +330,7 @@ impl ShardEngine {
 
     /// Merges the given segment ids unconditionally.
     pub fn force_merge(&mut self, ids: &[SegmentId]) -> SegmentId {
+        let t0 = self.timers.as_ref().map(|_| Instant::now());
         let inputs: Vec<&Segment> = self
             .segments
             .iter()
@@ -262,12 +351,16 @@ impl ShardEngine {
         self.segments.push(merged);
         self.stats_merges += 1;
         self.generation += 1;
+        if let (Some(t), Some(t0)) = (&self.timers, t0) {
+            t.merge.record(ns_since(t0));
+        }
         new_id
     }
 
     /// Flush (§3.3): refresh, persist new/dirty segments, write the commit
     /// point, roll the translog generation.
     pub fn flush(&mut self) -> Result<()> {
+        let t0 = self.timers.as_ref().map(|_| Instant::now());
         self.refresh();
         for seg in &self.segments {
             if !self.persisted.contains(&seg.id) || self.dirty.contains(&seg.id) {
@@ -283,6 +376,9 @@ impl ShardEngine {
         // their files can finally go.
         for id in self.pending_file_deletes.drain(..) {
             persist::remove_segment(&self.config.dir, id)?;
+        }
+        if let (Some(t), Some(t0)) = (&self.timers, t0) {
+            t.flush.record(ns_since(t0));
         }
         Ok(())
     }
@@ -520,6 +616,46 @@ mod tests {
             "buffer threshold triggers refresh"
         );
         assert!(s.stats().live_docs >= 10);
+    }
+
+    #[test]
+    fn telemetry_records_storage_stages() {
+        use esdb_telemetry::TelemetryConfig;
+        let telemetry = Arc::new(Telemetry::new(TelemetryConfig {
+            trace_sample_every: 1, // sample every op so counts are exact
+            ..TelemetryConfig::default()
+        }));
+        let cfg = ShardConfig::new(tmpdir("telemetry")).with_telemetry(3, Arc::clone(&telemetry));
+        let mut s = ShardEngine::open(CollectionSchema::transaction_logs(), cfg).unwrap();
+        for r in 0..8 {
+            s.apply(&WriteOp::insert(doc(r, 1))).unwrap();
+        }
+        s.refresh();
+        s.flush().unwrap();
+        let reg = telemetry.registry();
+        let labels = |stage| Labels::stage(stage).with_shard(3);
+        assert_eq!(
+            reg.histogram("esdb_storage_stage_ns", labels("translog_append"))
+                .count(),
+            8
+        );
+        assert_eq!(
+            reg.histogram("esdb_storage_stage_ns", labels("index"))
+                .count(),
+            8
+        );
+        // One standalone refresh; the flush-time refresh found an empty
+        // buffer and early-returned before the timer records.
+        assert_eq!(
+            reg.histogram("esdb_storage_stage_ns", labels("refresh"))
+                .count(),
+            1
+        );
+        assert_eq!(
+            reg.histogram("esdb_storage_stage_ns", labels("flush"))
+                .count(),
+            1
+        );
     }
 
     #[test]

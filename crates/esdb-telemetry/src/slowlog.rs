@@ -1,0 +1,116 @@
+//! Ring-buffer slow-query log.
+//!
+//! Queries whose total latency crosses the configured threshold get an
+//! entry capturing everything needed to reproduce and diagnose them:
+//! the SQL text, the plan (fingerprint + rendered form), which tenant,
+//! the shard fan-out, and — when the query was sampled for tracing —
+//! its per-stage timings. The log is a bounded ring: the newest
+//! `capacity` entries win, and logging is off the query hot path (one
+//! branch on the threshold; the mutex is taken only for actual slow
+//! queries).
+
+use crate::span::StageSample;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One slow query.
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    /// The SQL text as submitted.
+    pub sql: String,
+    /// Rendered physical plan.
+    pub plan: String,
+    /// Canonical plan fingerprint (cache key).
+    pub fingerprint: u128,
+    /// Tenant the query filtered on, when derivable from the plan.
+    pub tenant: Option<u64>,
+    /// Number of shards the query fanned out to.
+    pub fanout: u32,
+    /// End-to-end latency in nanoseconds.
+    pub total_ns: u64,
+    /// Per-stage timings; empty when the query was not trace-sampled.
+    pub stages: Vec<StageSample>,
+}
+
+/// Bounded ring of [`SlowQueryEntry`]s, newest last.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    capacity: usize,
+    ring: Mutex<VecDeque<SlowQueryEntry>>,
+}
+
+impl SlowQueryLog {
+    /// Ring holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        SlowQueryLog {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(64))),
+        }
+    }
+
+    /// Appends an entry, evicting the oldest when full.
+    pub fn push(&self, entry: SlowQueryEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("slow-query ring");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(entry);
+    }
+
+    /// Copies out the current entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        self.ring
+            .lock()
+            .expect("slow-query ring")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("slow-query ring").len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(sql: &str) -> SlowQueryEntry {
+        SlowQueryEntry {
+            sql: sql.into(),
+            plan: "All".into(),
+            fingerprint: 7,
+            tenant: Some(1),
+            fanout: 4,
+            total_ns: 1_000_000,
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let log = SlowQueryLog::new(2);
+        log.push(entry("a"));
+        log.push(entry("b"));
+        log.push(entry("c"));
+        let sqls: Vec<String> = log.entries().into_iter().map(|e| e.sql).collect();
+        assert_eq!(sqls, ["b", "c"]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let log = SlowQueryLog::new(0);
+        log.push(entry("a"));
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Lightweight tracing spans: RAII-timed stages with explicit parent
+//! IDs, no async runtime, `Sync` so per-shard worker threads can record
+//! into the same trace during scatter-gather.
+//!
+//! A [`QueryTrace`] is created per traced request (query or write
+//! batch). Stages open a [`Span`] with `trace.span(stage, parent)`; the
+//! span records its duration into the trace when dropped (or explicitly
+//! via [`Span::finish`]). Span IDs are small integers unique within the
+//! trace; `parent == 0` marks root spans. After the request completes,
+//! the collected [`StageSample`]s are fed into the metrics registry
+//! (per-stage histograms) and/or attached to a slow-query log entry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSample {
+    /// Stage name from the span taxonomy (e.g. `"execute"`).
+    pub stage: &'static str,
+    /// Span ID, unique within the trace (never 0).
+    pub id: u64,
+    /// Parent span ID (0 for roots).
+    pub parent: u64,
+    /// Shard the stage ran against, when per-shard.
+    pub shard: Option<u32>,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// Per-request span collector. Cheap to create; shareable across the
+/// scoped threads of a scatter-gather fan-out.
+#[derive(Debug, Default)]
+pub struct QueryTrace {
+    next_id: AtomicU64,
+    samples: Mutex<Vec<StageSample>>,
+}
+
+impl QueryTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        QueryTrace {
+            next_id: AtomicU64::new(1),
+            samples: Mutex::new(Vec::with_capacity(8)),
+        }
+    }
+
+    /// Opens a span for `stage` under `parent` (0 = root). Timing starts
+    /// now and ends when the span is dropped or finished.
+    pub fn span(&self, stage: &'static str, parent: u64) -> Span<'_> {
+        self.span_for_shard(stage, parent, None)
+    }
+
+    /// [`QueryTrace::span`] with a shard label attached.
+    pub fn span_for_shard(&self, stage: &'static str, parent: u64, shard: Option<u32>) -> Span<'_> {
+        Span {
+            trace: self,
+            stage,
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            shard,
+            start: Instant::now(),
+        }
+    }
+
+    /// Records an externally-timed sample (used when a duration is
+    /// measured without holding a `Span`, e.g. satellite-path timings).
+    pub fn record(&self, stage: &'static str, parent: u64, shard: Option<u32>, dur_ns: u64) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.samples
+            .lock()
+            .expect("trace samples")
+            .push(StageSample {
+                stage,
+                id,
+                parent,
+                shard,
+                dur_ns,
+            });
+    }
+
+    /// Consumes the trace, returning samples ordered by completion time.
+    pub fn into_samples(self) -> Vec<StageSample> {
+        self.samples.into_inner().expect("trace samples")
+    }
+
+    /// Copies out the samples collected so far.
+    pub fn samples(&self) -> Vec<StageSample> {
+        self.samples.lock().expect("trace samples").clone()
+    }
+}
+
+/// An open span; records its duration into the owning trace on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    trace: &'a QueryTrace,
+    stage: &'static str,
+    id: u64,
+    parent: u64,
+    shard: Option<u32>,
+    start: Instant,
+}
+
+impl Span<'_> {
+    /// This span's ID, for use as a child's `parent`.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.trace
+            .samples
+            .lock()
+            .expect("trace samples")
+            .push(StageSample {
+                stage: self.stage,
+                id: self.id,
+                parent: self.parent,
+                shard: self.shard,
+                dur_ns,
+            });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_explicit_parent() {
+        let trace = QueryTrace::new();
+        let root = trace.span("query", 0);
+        let root_id = root.id();
+        {
+            let child = trace.span("route", root_id);
+            assert_ne!(child.id(), root_id);
+        }
+        root.finish();
+        let samples = trace.into_samples();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].stage, "route");
+        assert_eq!(samples[0].parent, root_id);
+        assert_eq!(samples[1].stage, "query");
+        assert_eq!(samples[1].parent, 0);
+    }
+
+    #[test]
+    fn trace_is_shareable_across_threads() {
+        let trace = QueryTrace::new();
+        std::thread::scope(|s| {
+            for shard in 0..4u32 {
+                let t = &trace;
+                s.spawn(move || {
+                    let _span = t.span_for_shard("execute", 0, Some(shard));
+                });
+            }
+        });
+        let samples = trace.into_samples();
+        assert_eq!(samples.len(), 4);
+        let mut ids: Vec<u64> = samples.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "span ids unique within a trace");
+    }
+
+    #[test]
+    fn external_samples_record() {
+        let trace = QueryTrace::new();
+        trace.record("translog_append", 0, Some(3), 12_345);
+        let s = trace.into_samples();
+        assert_eq!(s[0].shard, Some(3));
+        assert_eq!(s[0].dur_ns, 12_345);
+    }
+}

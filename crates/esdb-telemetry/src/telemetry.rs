@@ -1,0 +1,212 @@
+//! The `Telemetry` facade the rest of the stack threads around: one
+//! shared registry, the slow-query log, and the trace-sampling decision.
+
+use crate::expo::TelemetrySnapshot;
+use crate::registry::{Labels, MetricsRegistry};
+use crate::slowlog::{SlowQueryEntry, SlowQueryLog};
+use crate::span::StageSample;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Telemetry knobs (the `EsdbConfig.telemetry` field).
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Master switch. Off = no spans, no per-stage histograms, no slow
+    /// log, zero extra clock reads on the hot paths.
+    pub enabled: bool,
+    /// Trace 1 in N requests with full per-stage spans (total-latency
+    /// histograms and slow-query *detection* are always on when
+    /// `enabled`). 1 traces everything; 0 disables stage tracing.
+    pub trace_sample_every: u64,
+    /// Queries slower than this land in the slow-query log.
+    pub slow_query_threshold_us: u64,
+    /// Slow-query ring capacity.
+    pub slow_log_capacity: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            trace_sample_every: 8,
+            slow_query_threshold_us: 50_000,
+            slow_log_capacity: 128,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything off.
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+/// Shared telemetry state. Cheap to clone the `Arc` into every layer.
+#[derive(Debug)]
+pub struct Telemetry {
+    config: TelemetryConfig,
+    registry: Arc<MetricsRegistry>,
+    slow_log: SlowQueryLog,
+    trace_tick: AtomicU64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new(TelemetryConfig::default())
+    }
+}
+
+impl Telemetry {
+    /// Telemetry with a fresh registry.
+    pub fn new(config: TelemetryConfig) -> Self {
+        Self::with_registry(config, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Telemetry over an existing registry (so e.g. the workload monitor
+    /// and the query path share one).
+    pub fn with_registry(config: TelemetryConfig, registry: Arc<MetricsRegistry>) -> Self {
+        let slow_log = SlowQueryLog::new(if config.enabled {
+            config.slow_log_capacity
+        } else {
+            0
+        });
+        Telemetry {
+            config,
+            registry,
+            slow_log,
+            trace_tick: AtomicU64::new(0),
+        }
+    }
+
+    /// A disabled facade (every probe is a single branch).
+    pub fn disabled() -> Self {
+        Self::new(TelemetryConfig::disabled())
+    }
+
+    /// Whether telemetry is on at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The shared registry.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TelemetryConfig {
+        &self.config
+    }
+
+    /// Whether the *next* request should carry full per-stage spans
+    /// (1-in-N sampling; the counter is shared across threads).
+    #[inline]
+    pub fn should_trace(&self) -> bool {
+        if !self.config.enabled || self.config.trace_sample_every == 0 {
+            return false;
+        }
+        let n = self.config.trace_sample_every;
+        n == 1 || self.trace_tick.fetch_add(1, Ordering::Relaxed) % n == 0
+    }
+
+    /// Slow-query threshold in nanoseconds.
+    #[inline]
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.config.slow_query_threshold_us.saturating_mul(1_000)
+    }
+
+    /// Records a finished request's stage samples into per-stage
+    /// histograms under `name{stage,shard}`.
+    pub fn record_stages(&self, name: &'static str, samples: &[StageSample]) {
+        for s in samples {
+            let mut labels = Labels::stage(s.stage);
+            labels.shard = s.shard;
+            self.registry.observe(name, labels, s.dur_ns);
+        }
+    }
+
+    /// Appends a slow-query entry.
+    pub fn log_slow(&self, entry: SlowQueryEntry) {
+        self.slow_log.push(entry);
+    }
+
+    /// Current slow-query log contents, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.slow_log.entries()
+    }
+
+    /// Point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::from_registry(&self.registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_rate_is_one_in_n() {
+        let t = Telemetry::new(TelemetryConfig {
+            trace_sample_every: 4,
+            ..TelemetryConfig::default()
+        });
+        let traced = (0..100).filter(|_| t.should_trace()).count();
+        assert_eq!(traced, 25);
+    }
+
+    #[test]
+    fn disabled_never_traces_or_logs() {
+        let t = Telemetry::disabled();
+        assert!(!t.enabled());
+        assert!(!t.should_trace());
+        t.log_slow(SlowQueryEntry {
+            sql: "SELECT 1".into(),
+            plan: String::new(),
+            fingerprint: 0,
+            tenant: None,
+            fanout: 0,
+            total_ns: u64::MAX,
+            stages: Vec::new(),
+        });
+        assert!(t.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn record_stages_feeds_registry() {
+        let t = Telemetry::default();
+        t.record_stages(
+            "esdb_query_stage_ns",
+            &[
+                StageSample {
+                    stage: "route",
+                    id: 1,
+                    parent: 0,
+                    shard: None,
+                    dur_ns: 500,
+                },
+                StageSample {
+                    stage: "execute",
+                    id: 2,
+                    parent: 1,
+                    shard: Some(3),
+                    dur_ns: 9_000,
+                },
+            ],
+        );
+        let snap = t.snapshot();
+        assert_eq!(snap.histograms.len(), 2);
+        let exec = snap
+            .histograms
+            .iter()
+            .find(|(_, l, _)| l.stage == Some("execute"))
+            .expect("execute series");
+        assert_eq!(exec.1.shard, Some(3));
+        assert_eq!(exec.2.count(), 1);
+    }
+}
