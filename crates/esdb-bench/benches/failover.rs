@@ -1,0 +1,285 @@
+//! Failover benchmark: kill the hottest node mid-Zipf-workload and
+//! measure recovery (§3.3, §5.2 availability).
+//!
+//! The scenario:
+//!
+//! 1. drives a Zipf(θ)-skewed write workload into a `SimCluster`,
+//! 2. after a warmup, identifies the *hottest* node (most routed
+//!    arrivals across the shards it hosts as primary) and schedules a
+//!    deterministic chaos plan: crash it, restart it after a fixed
+//!    downtime,
+//! 3. keeps the load running through the failure — writes to dead or
+//!    in-transition shards back off with bounded retry, replicas promote
+//!    by replaying their translog tails,
+//! 4. drains, then reports promotion latency p50/p99, per-node
+//!    unavailability, replayed ops, and retry counts from the shared
+//!    telemetry registry, and
+//! 5. writes `BENCH_failover.json` at the repository root.
+//!
+//! Gates (non-zero exit on violation):
+//!
+//! - zero lost acknowledged writes and zero retry-exhausted failures
+//!   (every generated write completes: conservation),
+//! - at least one promotion with replayed ops (the failover actually ran),
+//! - recovery drains within a bounded tick budget,
+//! - the same seed produces a byte-identical JSON report across two full
+//!   scenario runs (end-to-end determinism),
+//! - the Prometheus exposition passes `lint_prometheus` and carries the
+//!   recovery series.
+//!
+//! Pass `--fast` (or set `FAILOVER_BENCH_FAST=1`) for the CI smoke
+//! configuration.
+
+use esdb_chaos::{ChaosEvent, ChaosSchedule};
+use esdb_cluster::{ClusterConfig, PolicySpec, SimCluster};
+use esdb_telemetry::lint_prometheus;
+use esdb_workload::{RateSchedule, TraceGenerator};
+
+/// Zipf skew of the tenant choice (the paper's hot-tenant regime).
+const THETA: f64 = 0.99;
+/// Workload seed; the chaos schedule derives from the run itself (the
+/// hottest node), so this one seed pins the whole scenario.
+const SEED: u64 = 42;
+
+struct Scale {
+    mode: &'static str,
+    n_nodes: u32,
+    n_shards: u32,
+    node_capacity_per_sec: f64,
+    rate: f64,
+    tenants: usize,
+    /// Ticks of warmup before the kill.
+    warmup_ticks: u64,
+    /// Downtime of the killed node, ms.
+    downtime_ms: u64,
+    /// Ticks of load after the kill (covers downtime + restart).
+    loaded_ticks: u64,
+    /// Max drain ticks before the bounded-recovery gate fails.
+    max_recovery_ticks: u64,
+}
+
+const FULL: Scale = Scale {
+    mode: "full",
+    n_nodes: 8,
+    n_shards: 64,
+    node_capacity_per_sec: 4_000.0,
+    rate: 10_000.0,
+    tenants: 1_000,
+    warmup_ticks: 100,
+    downtime_ms: 10_000,
+    loaded_ticks: 200,
+    max_recovery_ticks: 600,
+};
+
+const FAST: Scale = Scale {
+    mode: "fast",
+    n_nodes: 4,
+    n_shards: 32,
+    node_capacity_per_sec: 1_000.0,
+    rate: 1_200.0,
+    tenants: 200,
+    warmup_ticks: 30,
+    downtime_ms: 5_000,
+    loaded_ticks: 90,
+    max_recovery_ticks: 400,
+};
+
+struct ScenarioResult {
+    json: String,
+    prometheus: String,
+    gates: Vec<String>,
+}
+
+/// Hottest node = most routed arrivals summed over the shards it
+/// currently hosts as primary.
+fn hottest_node(cluster: &SimCluster, n_nodes: u32) -> u32 {
+    let arrivals = &cluster.report_so_far().per_shard_arrivals;
+    let mut per_node = vec![0u64; n_nodes as usize];
+    for (s, &a) in arrivals.iter().enumerate() {
+        per_node[cluster.primary_of(esdb_common::ShardId(s as u32)) as usize] += a;
+    }
+    per_node
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &a)| a)
+        .map(|(i, _)| i as u32)
+        .expect("at least one node")
+}
+
+fn run_scenario(scale: &Scale) -> ScenarioResult {
+    let mut cfg = ClusterConfig::small(PolicySpec::DoubleHashing { s: 8 });
+    cfg.n_nodes = scale.n_nodes;
+    cfg.n_shards = scale.n_shards;
+    cfg.node_capacity_per_sec = scale.node_capacity_per_sec;
+    cfg.balancer = esdb_balancer::BalancerConfig::new(scale.n_shards, scale.n_nodes);
+    let tick_ms = cfg.tick_ms;
+    let mut cluster = SimCluster::new(cfg);
+    let mut gen = TraceGenerator::new(
+        scale.tenants,
+        THETA,
+        RateSchedule::constant(scale.rate),
+        SEED,
+    );
+    let mut generated = 0u64;
+    let load = |cluster: &mut SimCluster, gen: &mut TraceGenerator, ticks: u64| {
+        let mut n = 0u64;
+        for _ in 0..ticks {
+            let now = cluster.now();
+            let events = gen.tick(now, tick_ms);
+            n += events.len() as u64;
+            cluster.step(events);
+        }
+        n
+    };
+
+    // Warmup, then kill the node the skewed workload hits hardest.
+    generated += load(&mut cluster, &mut gen, scale.warmup_ticks);
+    let victim = hottest_node(&cluster, scale.n_nodes);
+    let crash_ms = cluster.now();
+    let restart_ms = crash_ms + scale.downtime_ms;
+    cluster.set_chaos_schedule(
+        ChaosSchedule::new()
+            .at(crash_ms, ChaosEvent::NodeCrash { node: victim })
+            .at(restart_ms, ChaosEvent::NodeRestart { node: victim }),
+    );
+    generated += load(&mut cluster, &mut gen, scale.loaded_ticks);
+
+    // Drain: recovery must finish within the tick budget.
+    let mut recovery_ticks = 0u64;
+    while cluster.in_flight() > 0 && recovery_ticks < scale.max_recovery_ticks {
+        cluster.step(Vec::new());
+        recovery_ticks += 1;
+    }
+    let drained = cluster.in_flight() == 0;
+
+    let snap = cluster.telemetry_snapshot();
+    let prometheus = snap.to_prometheus();
+    let report = cluster.finish();
+    let completed: u64 = report.ticks.iter().map(|t| t.completed).sum();
+
+    let promo = snap
+        .histograms
+        .iter()
+        .find(|(n, _, _)| n == "esdb_failover_promotion_ms")
+        .map(|(_, _, h)| h.clone())
+        .expect("promotion histogram registered");
+    let unavail = snap
+        .histograms
+        .iter()
+        .find(|(n, _, _)| n == "esdb_sim_node_unavailability_ms")
+        .map(|(_, _, h)| h.clone())
+        .expect("unavailability histogram registered");
+
+    let mut gates = Vec::new();
+    if report.lost_acknowledged_writes != 0 {
+        gates.push(format!(
+            "lost {} acknowledged writes (replica existed for every shard)",
+            report.lost_acknowledged_writes
+        ));
+    }
+    if report.failed_writes != 0 {
+        gates.push(format!(
+            "{} writes exhausted their retry budget",
+            report.failed_writes
+        ));
+    }
+    if completed != generated {
+        gates.push(format!(
+            "conservation broken: completed {completed} != generated {generated}"
+        ));
+    }
+    if report.promotions == 0 {
+        gates.push("no promotions — the kill never triggered failover".into());
+    }
+    if report.replayed_ops == 0 {
+        gates.push("promotions replayed zero translog ops".into());
+    }
+    if !drained {
+        gates.push(format!(
+            "recovery did not drain within {} ticks",
+            scale.max_recovery_ticks
+        ));
+    }
+    let lint = lint_prometheus(&prometheus);
+    if !lint.is_empty() {
+        gates.push(format!("prometheus lint: {lint:?}"));
+    }
+    for series in [
+        "esdb_failover_promotion_ms",
+        "esdb_failover_promotions_total",
+        "esdb_failover_replayed_ops_total",
+        "esdb_sim_node_unavailability_ms",
+        "esdb_sim_node_up",
+        "esdb_sim_write_retries_total",
+    ] {
+        if !prometheus.contains(series) {
+            gates.push(format!("prometheus output missing {series}"));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"failover\",\n  \"mode\": \"{}\",\n  \"seed\": {SEED},\n  \
+         \"theta\": {THETA},\n  \"nodes\": {},\n  \"shards\": {},\n  \"rate_tps\": {},\n  \
+         \"killed_node\": {victim},\n  \"crash_ms\": {crash_ms},\n  \
+         \"restart_ms\": {restart_ms},\n  \"generated\": {generated},\n  \
+         \"completed\": {completed},\n  \"node_crashes\": {},\n  \"node_restarts\": {},\n  \
+         \"promotions\": {},\n  \"replayed_ops\": {},\n  \"resync_ops\": {},\n  \
+         \"promotion_p50_ms\": {},\n  \"promotion_p99_ms\": {},\n  \
+         \"promotion_max_ms\": {},\n  \"node_unavailability_ms\": {},\n  \
+         \"write_retries\": {},\n  \"failed_writes\": {},\n  \
+         \"lost_acknowledged_writes\": {},\n  \"recovery_drain_ticks\": {recovery_ticks}\n}}\n",
+        scale.mode,
+        scale.n_nodes,
+        scale.n_shards,
+        scale.rate,
+        report.node_crashes,
+        report.node_restarts,
+        report.promotions,
+        report.replayed_ops,
+        report.resync_ops,
+        promo.quantile(0.50),
+        promo.quantile(0.99),
+        promo.max(),
+        unavail.max(),
+        report.write_retries,
+        report.failed_writes,
+        report.lost_acknowledged_writes,
+    );
+    ScenarioResult {
+        json,
+        prometheus,
+        gates,
+    }
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast" || a == "fast")
+        || std::env::var("FAILOVER_BENCH_FAST").is_ok_and(|v| v == "1");
+    let scale = if fast { FAST } else { FULL };
+
+    let first = run_scenario(&scale);
+    let second = run_scenario(&scale);
+
+    let mut gates = first.gates;
+    if first.json != second.json {
+        gates.push("DETERMINISM VIOLATION: same seed produced different reports".into());
+    }
+    if first.prometheus != second.prometheus {
+        gates.push("DETERMINISM VIOLATION: telemetry diverged across reruns".into());
+    }
+
+    print!("{}", first.json);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_failover.json");
+    match std::fs::write(path, &first.json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    if !gates.is_empty() {
+        for g in &gates {
+            eprintln!("failover: FAILED gate: {g}");
+        }
+        std::process::exit(1);
+    }
+    println!("failover/{}: all gates passed", scale.mode);
+}

@@ -1,0 +1,294 @@
+//! Node-health tracking, promotion bookkeeping and recovery telemetry.
+
+use crate::retry::RetryPolicy;
+use esdb_common::fastmap::{fast_map, FastMap};
+use esdb_common::{NodeId, TimestampMs};
+use esdb_consensus::{FaultPlan, LinkFault};
+use esdb_telemetry::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
+use std::sync::Arc;
+
+/// Liveness of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Serving.
+    Up,
+    /// Crashed at `since`; not serving, links partitioned.
+    Down {
+        /// Crash time, ms.
+        since: TimestampMs,
+    },
+}
+
+/// Failover knobs consumed by the cluster simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailoverConfig {
+    /// Work units charged per replayed translog op during promotion
+    /// (translog replay re-indexes, but into a warm empty engine — the
+    /// physical-replication experiments price that below a primary write).
+    pub replay_cost: f64,
+    /// Simulated flush cadence: each interval rolls the translog
+    /// generation, bounding the tail a promotion must replay.
+    pub flush_interval_ms: u64,
+    /// Backoff for writes hitting a dead or in-transition shard.
+    pub retry: RetryPolicy,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        FailoverConfig {
+            replay_cost: 0.5,
+            flush_interval_ms: 5_000,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Tracks node health and in-flight shard promotions, and owns the
+/// recovery telemetry series:
+///
+/// * `esdb_sim_node_up{node}` — liveness gauge (1/0),
+/// * `esdb_failover_promotion_ms` — crash → replay-complete latency per
+///   promoted shard (the write-unavailability window of that shard),
+/// * `esdb_sim_node_unavailability_ms` — crash → restart per node
+///   (still-down nodes are closed out by [`FailoverController::finish`]),
+/// * `esdb_failover_replayed_ops_total` — translog ops replayed by
+///   promotions,
+/// * `esdb_failover_resync_ops_total` — ops replayed to rebuild replicas
+///   on surviving nodes,
+/// * `esdb_failover_promotions_total`, `esdb_sim_node_crashes_total`,
+///   `esdb_sim_node_restarts_total`.
+pub struct FailoverController {
+    health: Vec<NodeHealth>,
+    slow: Vec<f64>,
+    /// shard index → crash time of the primary it is recovering from.
+    in_transition: FastMap<u32, TimestampMs>,
+    node_up: Vec<Arc<Gauge>>,
+    promotion_ms: Arc<Histogram>,
+    node_unavail_ms: Arc<Histogram>,
+    replayed_ops: Arc<Counter>,
+    resync_ops: Arc<Counter>,
+    promotions: Arc<Counter>,
+    crashes: Arc<Counter>,
+    restarts: Arc<Counter>,
+}
+
+impl FailoverController {
+    /// A controller for `n_nodes` nodes, all up, recording into
+    /// `registry`.
+    pub fn new(n_nodes: u32, registry: &Arc<MetricsRegistry>) -> Self {
+        let node_up: Vec<Arc<Gauge>> = (0..n_nodes)
+            .map(|i| {
+                let g = registry.gauge("esdb_sim_node_up", Labels::node(i));
+                g.set(1);
+                g
+            })
+            .collect();
+        FailoverController {
+            health: vec![NodeHealth::Up; n_nodes as usize],
+            slow: vec![1.0; n_nodes as usize],
+            in_transition: fast_map(),
+            node_up,
+            promotion_ms: registry.histogram("esdb_failover_promotion_ms", Labels::none()),
+            node_unavail_ms: registry.histogram("esdb_sim_node_unavailability_ms", Labels::none()),
+            replayed_ops: registry.counter("esdb_failover_replayed_ops_total", Labels::none()),
+            resync_ops: registry.counter("esdb_failover_resync_ops_total", Labels::none()),
+            promotions: registry.counter("esdb_failover_promotions_total", Labels::none()),
+            crashes: registry.counter("esdb_sim_node_crashes_total", Labels::none()),
+            restarts: registry.counter("esdb_sim_node_restarts_total", Labels::none()),
+        }
+    }
+
+    /// Whether `node` is serving.
+    pub fn is_up(&self, node: u32) -> bool {
+        matches!(self.health[node as usize], NodeHealth::Up)
+    }
+
+    /// Health of `node`.
+    pub fn health(&self, node: u32) -> NodeHealth {
+        self.health[node as usize]
+    }
+
+    /// Serving nodes.
+    pub fn up_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| matches!(h, NodeHealth::Up))
+            .count()
+    }
+
+    /// Current capacity multiplier of `node`.
+    pub fn slow_factor(&self, node: u32) -> f64 {
+        self.slow[node as usize]
+    }
+
+    /// Sets the capacity multiplier of `node` (clamped to `(0, 1]`).
+    pub fn set_slow_factor(&mut self, node: u32, factor: f64) {
+        self.slow[node as usize] = factor.clamp(0.01, 1.0);
+    }
+
+    /// Marks `node` down at `now`. Returns `false` (no-op) if it already
+    /// was.
+    pub fn on_crash(&mut self, node: u32, now: TimestampMs) -> bool {
+        if !self.is_up(node) {
+            return false;
+        }
+        self.health[node as usize] = NodeHealth::Down { since: now };
+        self.node_up[node as usize].set(0);
+        self.crashes.add(1);
+        true
+    }
+
+    /// Marks `node` up at `now`, recording its unavailability window.
+    /// Returns the downtime, or `None` (no-op) if it wasn't down.
+    pub fn on_restart(&mut self, node: u32, now: TimestampMs) -> Option<u64> {
+        let NodeHealth::Down { since } = self.health[node as usize] else {
+            return None;
+        };
+        self.health[node as usize] = NodeHealth::Up;
+        self.node_up[node as usize].set(1);
+        self.restarts.add(1);
+        let downtime = now.saturating_sub(since);
+        self.node_unavail_ms.record(downtime);
+        Some(downtime)
+    }
+
+    /// Starts tracking a promotion for `shard` whose primary crashed at
+    /// `crashed_at`.
+    pub fn begin_promotion(&mut self, shard: u32, crashed_at: TimestampMs) {
+        self.in_transition.insert(shard, crashed_at);
+    }
+
+    /// Whether `shard` is mid-promotion (writes must retry).
+    pub fn is_in_transition(&self, shard: u32) -> bool {
+        self.in_transition.contains_key(&shard)
+    }
+
+    /// Shards currently mid-promotion.
+    pub fn transitions_in_flight(&self) -> usize {
+        self.in_transition.len()
+    }
+
+    /// Completes the promotion of `shard` at `now` after replaying
+    /// `replayed` translog ops; returns the promotion latency.
+    pub fn complete_promotion(
+        &mut self,
+        shard: u32,
+        now: TimestampMs,
+        replayed: u64,
+    ) -> Option<u64> {
+        let crashed_at = self.in_transition.remove(&shard)?;
+        let latency = now.saturating_sub(crashed_at);
+        self.promotion_ms.record(latency);
+        self.replayed_ops.add(replayed);
+        self.promotions.add(1);
+        Some(latency)
+    }
+
+    /// Accounts ops replayed to rebuild a replica on a surviving node.
+    pub fn record_resync(&mut self, ops: u64) {
+        self.resync_ops.add(ops);
+    }
+
+    /// The effective consensus plan: `base` with every down node fully
+    /// partitioned (a dead participant can't ack prepares or receive
+    /// commits).
+    pub fn consensus_overlay(&self, base: &FaultPlan) -> FaultPlan {
+        let mut plan = base.clone();
+        for (i, h) in self.health.iter().enumerate() {
+            if matches!(h, NodeHealth::Down { .. }) {
+                plan.set(NodeId(i as u32), LinkFault::Partitioned);
+            }
+        }
+        plan
+    }
+
+    /// Closes out unavailability windows still open at end of run (nodes
+    /// that never restarted) so the histogram reflects them.
+    pub fn finish(&mut self, now: TimestampMs) {
+        for h in &mut self.health {
+            if let NodeHealth::Down { since } = *h {
+                self.node_unavail_ms.record(now.saturating_sub(since));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(n: u32) -> (FailoverController, Arc<MetricsRegistry>) {
+        let registry = Arc::new(MetricsRegistry::new());
+        (FailoverController::new(n, &registry), registry)
+    }
+
+    #[test]
+    fn crash_restart_cycle_tracks_health_and_gauges() {
+        let (mut c, reg) = controller(3);
+        assert!(c.is_up(1));
+        assert_eq!(reg.gauge("esdb_sim_node_up", Labels::node(1)).get(), 1);
+        assert!(c.on_crash(1, 1_000));
+        assert!(!c.on_crash(1, 1_100), "double crash is a no-op");
+        assert!(!c.is_up(1));
+        assert_eq!(c.up_count(), 2);
+        assert_eq!(reg.gauge("esdb_sim_node_up", Labels::node(1)).get(), 0);
+        assert_eq!(c.on_restart(1, 4_000), Some(3_000));
+        assert_eq!(c.on_restart(1, 4_100), None, "double restart is a no-op");
+        assert!(c.is_up(1));
+        assert_eq!(reg.gauge("esdb_sim_node_up", Labels::node(1)).get(), 1);
+        assert_eq!(
+            reg.counter_value("esdb_sim_node_crashes_total", Labels::none()),
+            1
+        );
+        assert_eq!(
+            reg.counter_value("esdb_sim_node_restarts_total", Labels::none()),
+            1
+        );
+    }
+
+    #[test]
+    fn promotion_lifecycle_records_latency_and_ops() {
+        let (mut c, reg) = controller(2);
+        c.on_crash(0, 2_000);
+        c.begin_promotion(7, 2_000);
+        assert!(c.is_in_transition(7));
+        assert_eq!(c.transitions_in_flight(), 1);
+        assert_eq!(c.complete_promotion(7, 2_600, 40), Some(600));
+        assert!(!c.is_in_transition(7));
+        assert_eq!(c.complete_promotion(7, 2_700, 1), None, "already done");
+        assert_eq!(
+            reg.counter_value("esdb_failover_replayed_ops_total", Labels::none()),
+            40
+        );
+        assert_eq!(
+            reg.counter_value("esdb_failover_promotions_total", Labels::none()),
+            1
+        );
+        let h = reg.histogram("esdb_failover_promotion_ms", Labels::none());
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn overlay_partitions_down_nodes_only() {
+        let (mut c, _reg) = controller(3);
+        c.on_crash(2, 500);
+        let plan = c.consensus_overlay(&FaultPlan::healthy(20));
+        assert_eq!(plan.fault(NodeId(0)), LinkFault::Healthy);
+        assert_eq!(plan.fault(NodeId(2)), LinkFault::Partitioned);
+        // Base faults survive the overlay.
+        let mut base = FaultPlan::healthy(20);
+        base.set(NodeId(1), LinkFault::Delay(100));
+        let plan = c.consensus_overlay(&base);
+        assert_eq!(plan.fault(NodeId(1)), LinkFault::Delay(100));
+    }
+
+    #[test]
+    fn finish_closes_open_windows() {
+        let (mut c, reg) = controller(2);
+        c.on_crash(0, 1_000);
+        c.finish(9_000);
+        let h = reg.histogram("esdb_sim_node_unavailability_ms", Labels::none());
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.snapshot().max(), 8_000);
+    }
+}

@@ -1,6 +1,7 @@
 //! Simulator configuration.
 
 use esdb_balancer::BalancerConfig;
+use esdb_chaos::FailoverConfig;
 
 /// Which routing policy the cluster runs (the three lines in every figure).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +86,9 @@ pub struct ClusterConfig {
     pub consensus_t_ms: u64,
     /// Load balancer settings (only used by `PolicySpec::Dynamic`).
     pub balancer: BalancerConfig,
+    /// Failover behaviour under chaos (replay pricing, flush cadence,
+    /// client retry backoff).
+    pub failover: FailoverConfig,
 }
 
 impl ClusterConfig {
@@ -103,6 +107,7 @@ impl ClusterConfig {
             monitor_period_ms: 10_000,
             consensus_t_ms: 5_000,
             balancer: BalancerConfig::new(n_shards, n_nodes),
+            failover: FailoverConfig::default(),
         }
     }
 
@@ -121,6 +126,7 @@ impl ClusterConfig {
             monitor_period_ms: 2_000,
             consensus_t_ms: 1_000,
             balancer: BalancerConfig::new(n_shards, n_nodes),
+            failover: FailoverConfig::default(),
         }
     }
 }

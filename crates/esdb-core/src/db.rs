@@ -19,10 +19,10 @@ use esdb_query::{
 use esdb_routing::{
     DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList, ShardSpan,
 };
-use esdb_storage::{ShardConfig, ShardEngine};
+use esdb_storage::{ShardConfig, ShardEngine, WriteFault};
 use esdb_telemetry::{
-    Histogram, Labels, MetricsRegistry, QueryTrace, SlowQueryEntry, Telemetry, TelemetryConfig,
-    TelemetrySnapshot,
+    Counter, Histogram, Labels, MetricsRegistry, QueryTrace, SlowQueryEntry, Telemetry,
+    TelemetryConfig, TelemetrySnapshot,
 };
 use parking_lot::RwLock;
 use std::path::PathBuf;
@@ -78,6 +78,10 @@ pub struct EsdbConfig {
     /// regardless of `telemetry.enabled` — balancing needs its counters —
     /// but spans, stage histograms, and the slow log obey the switch.
     pub telemetry: TelemetryConfig,
+    /// Optional storage fault injector applied to every shard's translog
+    /// (chaos testing: torn/failed appends surface as write errors).
+    /// `None` for production use.
+    pub write_fault: Option<Arc<dyn WriteFault>>,
 }
 
 impl EsdbConfig {
@@ -98,6 +102,7 @@ impl EsdbConfig {
             filter_cache_enabled: true,
             request_cache_enabled: true,
             telemetry: TelemetryConfig::default(),
+            write_fault: None,
         }
     }
 
@@ -166,6 +171,15 @@ impl EsdbConfig {
         self.telemetry = telemetry;
         self
     }
+
+    /// Installs a storage fault injector on every shard's translog
+    /// (chaos testing). Injected failures are counted in
+    /// [`EsdbStats::write_errors`] and `esdb_write_errors_total`, then
+    /// surfaced to the caller.
+    pub fn write_fault(mut self, fault: Arc<dyn WriteFault>) -> Self {
+        self.write_fault = Some(fault);
+        self
+    }
 }
 
 enum Router {
@@ -207,6 +221,9 @@ pub struct EsdbStats {
     pub rules: usize,
     /// Writes applied.
     pub writes: u64,
+    /// Writes that failed (translog or engine error surfaced to the
+    /// caller) — never silently swallowed.
+    pub write_errors: u64,
     /// Queries executed.
     pub queries: u64,
     /// Per-shard cumulative busy time (microseconds a query, write, or
@@ -292,6 +309,7 @@ struct CoreTimers {
     query_total: Arc<Histogram>,
     write_total: Arc<Histogram>,
     batch_total: Arc<Histogram>,
+    write_errors: Arc<Counter>,
 }
 
 impl CoreTimers {
@@ -300,6 +318,7 @@ impl CoreTimers {
             query_total: registry.histogram("esdb_query_total_ns", Labels::none()),
             write_total: registry.histogram("esdb_write_total_ns", Labels::none()),
             batch_total: registry.histogram("esdb_write_batch_ns", Labels::none()),
+            write_errors: registry.counter("esdb_write_errors_total", Labels::none()),
         }
     }
 }
@@ -326,6 +345,7 @@ pub struct Esdb {
     clock: SharedClock,
     writes_since_balance: u64,
     writes_total: u64,
+    write_errors_total: u64,
     queries_total: u64,
     telemetry: Arc<Telemetry>,
     timers: Option<CoreTimers>,
@@ -354,6 +374,7 @@ impl Esdb {
         for s in 0..config.n_shards {
             let mut sc = ShardConfig::new(config.data_dir.join(format!("shard-{s:04}")));
             sc.refresh_buffer_docs = config.refresh_buffer_docs;
+            sc.write_fault = config.write_fault.clone();
             if telemetry.enabled() {
                 sc = sc.with_telemetry(s, Arc::clone(&telemetry));
             }
@@ -400,6 +421,7 @@ impl Esdb {
             clock,
             writes_since_balance: 0,
             writes_total: 0,
+            write_errors_total: 0,
             queries_total: 0,
             telemetry,
             timers,
@@ -477,22 +499,29 @@ impl Esdb {
             }
         }
         let trace_ref = trace.as_ref();
-        let results: Vec<Result<usize>> = self.executor.map(&groups, |_, (shard, ops)| {
-            let _span = trace_ref.map(|t| t.span_for_shard("apply", 0, Some(shard.0)));
-            self.shards[shard.index()].with_write(|engine| {
-                for op in ops {
-                    engine.apply(op)?;
-                }
-                Ok(ops.len())
-            })
-        });
+        // Each group applies as far as it can; a failing op stops its own
+        // shard's group but other shards still land and are accounted.
+        let results: Vec<(usize, Option<EsdbError>)> =
+            self.executor.map(&groups, |_, (shard, ops)| {
+                let _span = trace_ref.map(|t| t.span_for_shard("apply", 0, Some(shard.0)));
+                self.shards[shard.index()].with_write(|engine| {
+                    for (i, op) in ops.iter().enumerate() {
+                        if let Err(e) = engine.apply(op) {
+                            return (i, Some(e));
+                        }
+                    }
+                    (ops.len(), None)
+                })
+            });
         let mut applied = BatchApplied::default();
+        let mut first_err = None;
         let node_count = self.node_count();
-        for ((shard, ops), result) in groups.iter().zip(results) {
-            let n = result?;
+        for ((shard, ops), (n, err)) in groups.iter().zip(results) {
             applied.total += n;
             applied.per_shard.push((*shard, n));
-            for op in ops {
+            // Only the ops that actually applied count toward the monitor
+            // and the write totals.
+            for op in &ops[..n] {
                 let (tenant, _, _) = op.routing();
                 self.monitor.record_write(
                     tenant,
@@ -503,6 +532,15 @@ impl Esdb {
             }
             self.writes_total += n as u64;
             self.writes_since_balance += n as u64;
+            if let Some(e) = err {
+                self.write_errors_total += 1;
+                if let Some(t) = &self.timers {
+                    t.write_errors.inc();
+                }
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
         }
         if let (Some(t), Some(t0)) = (&self.timers, t0) {
             t.batch_total.record(elapsed_ns(t0));
@@ -512,7 +550,12 @@ impl Esdb {
                 .record_stages("esdb_write_stage_ns", &trace.into_samples());
         }
         self.maybe_rebalance();
-        Ok(applied)
+        // The first error (by shard order) surfaces only after every
+        // group's outcome has been counted — no silent partial batches.
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(applied),
+        }
     }
 
     /// Applies a raw write operation.
@@ -521,7 +564,13 @@ impl Esdb {
         let (tenant, record, created_at) = op.routing();
         let shard = self.router.route(tenant, record, created_at);
         let bytes = op.doc.approx_size() as u64;
-        self.shards[shard.index()].with_write(|engine| engine.apply(&op))?;
+        if let Err(e) = self.shards[shard.index()].with_write(|engine| engine.apply(&op)) {
+            self.write_errors_total += 1;
+            if let Some(t) = &self.timers {
+                t.write_errors.inc();
+            }
+            return Err(e);
+        }
         let node_count = self.node_count();
         self.monitor
             .record_write(tenant, shard, NodeId(shard.0 % node_count), bytes);
@@ -781,6 +830,7 @@ impl Esdb {
         let mut s = EsdbStats {
             rules: self.rule_count(),
             writes: self.writes_total,
+            write_errors: self.write_errors_total,
             queries: self.queries_total,
             parallelism: self.executor.parallelism(),
             filter_cache: self.filter_cache.stats(),
@@ -810,6 +860,7 @@ impl Esdb {
         let base = &self.stats_base;
         let mut out = current.clone();
         out.writes = current.writes.saturating_sub(base.writes);
+        out.write_errors = current.write_errors.saturating_sub(base.write_errors);
         out.queries = current.queries.saturating_sub(base.queries);
         for (i, v) in out.shard_busy_micros.iter_mut().enumerate() {
             *v = v.saturating_sub(base.shard_busy_micros.get(i).copied().unwrap_or(0));

@@ -34,6 +34,11 @@ pub struct ReplicationMetrics {
     pub segments_shipped_incremental: u64,
     /// Segments shipped via the pre-replication path.
     pub segments_shipped_prereplicated: u64,
+    /// Writes that failed on the primary (never applied anywhere).
+    pub primary_write_errors: u64,
+    /// Writes that applied on the primary but failed to reach the
+    /// replica — the divergence a resync must repair.
+    pub replica_write_errors: u64,
     /// Per-segment visibility delay (replica visible − primary visible), ms.
     pub visibility_delays_ms: Vec<u64>,
 }
@@ -118,15 +123,27 @@ impl ReplicatedPair {
     /// forward is the *real-time synchronization* of Fig. 9 — it happens on
     /// the write path, not at refresh.
     pub fn write(&mut self, op: &WriteOp) -> Result<()> {
-        self.primary.apply(op)?;
+        if let Err(e) = self.primary.apply(op) {
+            // Counted, then surfaced: a failed primary write was never
+            // acknowledged and reached neither copy.
+            self.metrics.primary_write_errors += 1;
+            return Err(e);
+        }
         self.metrics.primary_index_ops += 1;
         match self.mode {
             ReplicationMode::Logical => {
                 // Replica re-executes: translog + full indexing.
-                self.replica_engine
+                if let Err(e) = self
+                    .replica_engine
                     .as_mut()
                     .expect("logical mode has a replica engine")
-                    .apply(op)?;
+                    .apply(op)
+                {
+                    // The primary holds the op but the replica diverged —
+                    // counted so a resync can be triggered, then surfaced.
+                    self.metrics.replica_write_errors += 1;
+                    return Err(e);
+                }
                 self.metrics.replica_index_ops += 1;
                 self.metrics.translog_entries_synced += 1;
             }

@@ -22,4 +22,4 @@ pub mod shard;
 pub mod translog;
 
 pub use shard::{ShardConfig, ShardEngine, ShardStats};
-pub use translog::Translog;
+pub use translog::{Translog, WriteFault};

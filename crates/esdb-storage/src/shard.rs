@@ -2,7 +2,7 @@
 //! segments, merging, and recovery (paper §3.3, Fig. 3 "Execution Layer").
 
 use crate::persist;
-use crate::translog::Translog;
+use crate::translog::{Translog, WriteFault};
 use esdb_common::fastmap::{fast_map, fast_set, FastMap, FastSet};
 use esdb_common::Result;
 use esdb_doc::{CollectionSchema, Document, WriteKind, WriteOp};
@@ -29,6 +29,9 @@ pub struct ShardConfig {
     pub shard: u32,
     /// Shared telemetry; `None` (the default) records nothing.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Chaos append-fault hook installed on the translog (see
+    /// [`crate::translog::WriteFault`]); `None` for production use.
+    pub write_fault: Option<Arc<dyn WriteFault>>,
 }
 
 impl ShardConfig {
@@ -40,6 +43,7 @@ impl ShardConfig {
             merge: TieredMergePolicy::default(),
             shard: 0,
             telemetry: None,
+            write_fault: None,
         }
     }
 
@@ -47,6 +51,12 @@ impl ShardConfig {
     pub fn with_telemetry(mut self, shard: u32, telemetry: Arc<Telemetry>) -> Self {
         self.shard = shard;
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Installs a chaos append-fault hook on the shard's translog.
+    pub fn with_write_fault(mut self, fault: Arc<dyn WriteFault>) -> Self {
+        self.write_fault = Some(fault);
         self
     }
 }
@@ -149,7 +159,8 @@ impl ShardEngine {
     /// translog tail if present.
     pub fn open(schema: CollectionSchema, config: ShardConfig) -> Result<Self> {
         std::fs::create_dir_all(&config.dir)?;
-        let translog = Translog::open(config.dir.join("translog"))?;
+        let mut translog = Translog::open(config.dir.join("translog"))?;
+        translog.set_write_fault(config.write_fault.clone());
         let timers = config
             .telemetry
             .as_ref()

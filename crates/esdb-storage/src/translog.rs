@@ -10,11 +10,27 @@
 //! final record is discarded).
 
 use crate::codec::{decode_op, encode_op, frame, read_frame};
-use esdb_common::Result;
+use esdb_common::{EsdbError, Result};
 use esdb_doc::WriteOp;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An injectable append-fault hook (chaos testing). Consulted once per
+/// [`Translog::append`] with the length of the framed record about to be
+/// written; returning `Some(k)` tears the write after `k` bytes — only the
+/// prefix reaches the file and the append reports an I/O error, which is
+/// exactly what a crash mid-`write(2)` leaves on disk. Returning `None`
+/// lets the append proceed untouched.
+///
+/// Implementations must be deterministic for a given seed so that chaos
+/// schedules replay identically (see `esdb-chaos`).
+pub trait WriteFault: Send + Sync + std::fmt::Debug {
+    /// How many bytes of the `frame_len`-byte frame actually land, or
+    /// `None` for a healthy full write.
+    fn torn_write_len(&self, frame_len: usize) -> Option<usize>;
+}
 
 /// An append-only, generation-rolled write-ahead log.
 #[derive(Debug)]
@@ -26,6 +42,8 @@ pub struct Translog {
     unsynced: usize,
     /// Total ops appended in this generation.
     ops_in_generation: usize,
+    /// Optional chaos hook torn through every append.
+    write_fault: Option<Arc<dyn WriteFault>>,
 }
 
 impl Translog {
@@ -43,7 +61,13 @@ impl Translog {
             file,
             unsynced: 0,
             ops_in_generation: 0,
+            write_fault: None,
         })
+    }
+
+    /// Installs (or clears) the chaos append-fault hook.
+    pub fn set_write_fault(&mut self, fault: Option<Arc<dyn WriteFault>>) {
+        self.write_fault = fault;
     }
 
     fn gen_path(dir: &Path, generation: u64) -> PathBuf {
@@ -75,6 +99,21 @@ impl Translog {
     /// durable).
     pub fn append(&mut self, op: &WriteOp) -> Result<()> {
         let framed = frame(&encode_op(op));
+        if let Some(fault) = &self.write_fault {
+            if let Some(k) = fault.torn_write_len(framed.len()) {
+                // Torn write: only a prefix lands (flushed so the partial
+                // frame really is on disk for the recovery path to see),
+                // and the append fails loudly — the caller must treat the
+                // engine as crashed and recover via `replay`.
+                let k = k.min(framed.len());
+                self.file.write_all(&framed[..k])?;
+                self.file.sync_data()?;
+                return Err(EsdbError::Io(format!(
+                    "chaos: torn translog append ({k} of {} bytes written)",
+                    framed.len()
+                )));
+            }
+        }
         self.file.write_all(&framed)?;
         self.unsynced += 1;
         self.ops_in_generation += 1;
@@ -235,6 +274,75 @@ mod tests {
             "complete first record survives, torn second dropped"
         );
         assert_eq!(ops[0].doc.record_id, RecordId(1));
+    }
+
+    /// Tears the `nth` append (0-based) after `bytes` bytes of the frame.
+    #[derive(Debug)]
+    struct TearNth {
+        nth: usize,
+        bytes: usize,
+        seen: std::sync::atomic::AtomicUsize,
+    }
+
+    impl WriteFault for TearNth {
+        fn torn_write_len(&self, _frame_len: usize) -> Option<usize> {
+            let i = self.seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            (i == self.nth).then_some(self.bytes)
+        }
+    }
+
+    #[test]
+    fn write_fault_hook_tears_append_and_replay_recovers_prefix() {
+        let dir = tmpdir("fault-hook");
+        let mut t = Translog::open(&dir).unwrap();
+        t.set_write_fault(Some(Arc::new(TearNth {
+            nth: 2,
+            bytes: 7,
+            seen: std::sync::atomic::AtomicUsize::new(0),
+        })));
+        t.append(&op(1)).unwrap();
+        t.append(&op(2)).unwrap();
+        let err = t.append(&op(3)).expect_err("third append is torn");
+        assert!(matches!(err, EsdbError::Io(_)), "fault surfaces as Io");
+        // Crash-and-recover: a fresh open replays exactly the un-torn
+        // prefix; the partial third frame is dropped.
+        drop(t);
+        let t = Translog::open(&dir).unwrap();
+        let ops = t.replay().unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1].doc.record_id, RecordId(2));
+    }
+
+    proptest::proptest! {
+        /// Chop the *final* record at an arbitrary byte offset: replay must
+        /// return exactly the un-torn prefix — never an error, never a
+        /// partial decode of the torn record (satellite of the chaos PR;
+        /// generalizes `torn_tail_is_dropped`'s fixed offset).
+        #[test]
+        fn prop_random_truncation_yields_untorn_prefix(
+            n_ops in 1u64..9,
+            cut_seed in proptest::prelude::any::<u64>(),
+        ) {
+            let dir = tmpdir(&format!("prop-trunc-{n_ops}"));
+            let mut t = Translog::open(&dir).unwrap();
+            for r in 0..n_ops {
+                t.append(&op(r)).unwrap();
+            }
+            t.sync().unwrap();
+            let last_len = frame(&encode_op(&op(n_ops - 1))).len();
+            // Cut strictly inside the final frame (0 = clean boundary
+            // after n_ops-1 records, last_len-1 = one byte short).
+            let k = (cut_seed % last_len as u64) as usize;
+            let path = Translog::gen_path(&dir, 0);
+            let data = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &data[..data.len() - last_len + k]).unwrap();
+            let t = Translog::open(&dir).unwrap();
+            let ops = t.replay().unwrap();
+            proptest::prop_assert_eq!(ops.len() as u64, n_ops - 1);
+            for (i, o) in ops.iter().enumerate() {
+                proptest::prop_assert_eq!(o.doc.record_id, RecordId(i as u64));
+            }
+        }
     }
 
     #[test]
