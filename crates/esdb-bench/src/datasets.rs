@@ -113,7 +113,7 @@ mod tests {
             ..DatasetParams::default()
         };
         let dir = std::env::temp_dir().join(format!("esdb-ds-test-{}", std::process::id()));
-        let (mut db, trace) = build_embedded(&params, dir);
+        let (db, trace) = build_embedded(&params, dir);
         assert_eq!(db.stats().live_docs, 2_000);
         let top = trace.tenant_of_rank(1);
         let rows = db

@@ -8,23 +8,23 @@ use esdb_common::{
     TenantId, TimestampMs,
 };
 use esdb_doc::{CollectionSchema, Document, WriteOp};
-use esdb_index::{Segment, SegmentId};
+use esdb_index::{AttrFrequencyTracker, SegmentId};
 use esdb_query::aggregate::merge_results;
 use esdb_query::naive::naive_plan;
 use esdb_query::Expr;
 use esdb_query::{
-    execute_prepared_on_segments, optimize, parse_sql, query_fingerprint, translate,
-    FilterCacheContext, PreparedPlan, Query, QueryOptions, QueryRows, SegmentFilterCache,
+    execute_prepared_on_snapshot, optimize, parse_sql, query_fingerprint, translate,
+    FilterCacheContext, PreparedPlan, QueryOptions, QueryRows, SegmentFilterCache,
 };
 use esdb_routing::{
     DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList, ShardSpan,
 };
-use esdb_storage::{ShardConfig, ShardEngine, WriteFault};
+use esdb_storage::{ShardConfig, ShardEngine, ShardSnapshot, SnapshotCell, WriteFault};
 use esdb_telemetry::{
     Counter, Histogram, Labels, MetricsRegistry, QueryTrace, SlowQueryEntry, Telemetry,
     TelemetryConfig, TelemetrySnapshot,
 };
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -239,18 +239,36 @@ pub struct EsdbStats {
 
 /// One shard behind its own lock, so scatter-gather paths touch shards
 /// independently instead of serializing on the instance.
+///
+/// The engine lock guards only the *mutable* indexing state (buffer,
+/// translog, segment working set). The read path never takes it: the
+/// slot carries the engine's [`SnapshotCell`] and queries pin the
+/// published point-in-time view from there, so maintenance holding the
+/// write lock never blocks a reader and vice versa.
 struct ShardSlot {
     engine: RwLock<ShardEngine>,
-    /// Cumulative microseconds any operation held this shard's lock
-    /// (read or write side) — the per-shard busy-time counter surfaced
-    /// through [`EsdbStats::shard_busy_micros`].
+    /// The engine's snapshot publication point (shared with the engine;
+    /// readers pin from here without touching `engine`).
+    snapshots: Arc<SnapshotCell>,
+    /// The engine's attr-frequency tracker (shared with the engine;
+    /// the query path records sub-attribute usage here lock-free with
+    /// respect to the engine).
+    attr_tracker: Arc<Mutex<AttrFrequencyTracker>>,
+    /// Cumulative microseconds operations spent serving this shard —
+    /// write-lock hold time plus lock-free query execution time — the
+    /// per-shard busy counter surfaced through
+    /// [`EsdbStats::shard_busy_micros`].
     busy_micros: AtomicU64,
 }
 
 impl ShardSlot {
     fn new(engine: ShardEngine) -> Arc<Self> {
+        let snapshots = engine.snapshot_cell();
+        let attr_tracker = engine.attr_tracker();
         Arc::new(ShardSlot {
             engine: RwLock::new(engine),
+            snapshots,
+            attr_tracker,
             busy_micros: AtomicU64::new(0),
         })
     }
@@ -261,17 +279,6 @@ impl ShardSlot {
         let t0 = Instant::now();
         let mut engine = self.engine.write();
         let r = f(&mut engine);
-        self.busy_micros
-            .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
-        r
-    }
-
-    /// Runs `f` under the shard's read lock, charging elapsed time to
-    /// the busy counter.
-    fn with_read<R>(&self, f: impl FnOnce(&ShardEngine) -> R) -> R {
-        let t0 = Instant::now();
-        let engine = self.engine.read();
-        let r = f(&engine);
         self.busy_micros
             .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
         r
@@ -305,6 +312,7 @@ fn auto_filter_budget(shard_bytes: usize) -> u64 {
 /// Cached end-to-end latency histogram handles, present iff telemetry
 /// is enabled. The hot paths then pay one clock read and one atomic
 /// bucket increment each; when absent the paths take a single branch.
+#[derive(Clone)]
 struct CoreTimers {
     query_total: Arc<Histogram>,
     write_total: Arc<Histogram>,
@@ -333,20 +341,21 @@ pub struct Esdb {
     schema: CollectionSchema,
     config: EsdbConfig,
     shards: Vec<Arc<ShardSlot>>,
-    /// Tier-1: per-segment posting lists of cacheable sub-plans.
-    filter_cache: SegmentFilterCache,
+    /// Tier-1: per-segment posting lists of cacheable sub-plans
+    /// (`Arc` so [`EsdbReader`] handles share the same cache).
+    filter_cache: Arc<SegmentFilterCache>,
     /// Tier-2: whole per-shard result sets, keyed by search generation.
-    request_cache: ShardedCache<RequestCacheKey, Arc<QueryRows>>,
+    request_cache: Arc<ShardedCache<RequestCacheKey, Arc<QueryRows>>>,
     executor: Executor,
     rules: Arc<RwLock<RuleList>>,
-    router: Router,
+    router: Arc<Router>,
     monitor: WorkloadMonitor,
     balancer: LoadBalancer,
     clock: SharedClock,
     writes_since_balance: u64,
     writes_total: u64,
     write_errors_total: u64,
-    queries_total: u64,
+    queries_total: Arc<AtomicU64>,
     telemetry: Arc<Telemetry>,
     timers: Option<CoreTimers>,
     /// Baseline for [`Esdb::take_stats`] delta snapshots.
@@ -381,7 +390,7 @@ impl Esdb {
             shards.push(ShardSlot::new(ShardEngine::open(schema.clone(), sc)?));
         }
         let rules = Arc::new(RwLock::new(RuleList::new()));
-        let router = match config.routing {
+        let router = Arc::new(match config.routing {
             RoutingMode::Hashing => Router::Hash(HashRouting::new(config.n_shards)),
             RoutingMode::DoubleHashing(s) => {
                 Router::Double(DoubleHashRouting::new(config.n_shards, s))
@@ -393,15 +402,15 @@ impl Esdb {
                 }
                 Router::Dynamic(r)
             }
-        };
+        });
         let balancer = LoadBalancer::new(config.balancer);
         let executor = Executor::new(config.parallelism);
-        let filter_cache = SegmentFilterCache::new(if config.query_cache_bytes == 0 {
+        let filter_cache = Arc::new(SegmentFilterCache::new(if config.query_cache_bytes == 0 {
             AUTO_FILTER_BUDGET_FLOOR
         } else {
             config.query_cache_bytes
-        });
-        let request_cache = ShardedCache::new(config.request_cache_entries.max(16));
+        }));
+        let request_cache = Arc::new(ShardedCache::new(config.request_cache_entries.max(16)));
         // The monitor shares the telemetry registry, so the balancing
         // loop's inputs surface as `esdb_monitor_*` series for free.
         let monitor = WorkloadMonitor::with_registry(Arc::clone(telemetry.registry()));
@@ -422,7 +431,7 @@ impl Esdb {
             writes_since_balance: 0,
             writes_total: 0,
             write_errors_total: 0,
-            queries_total: 0,
+            queries_total: Arc::new(AtomicU64::new(0)),
             telemetry,
             timers,
             stats_base: EsdbStats::default(),
@@ -640,6 +649,29 @@ impl Esdb {
         result
     }
 
+    /// Force-merges each shard's full segment list into one segment,
+    /// ignoring the merge policy (maximum merge pressure — benches and
+    /// tests race queries against this). Returns merges performed.
+    pub fn force_merge(&mut self) -> usize {
+        let merged: usize = self
+            .executor
+            .map(&self.shards, |_, slot| {
+                slot.with_write(|engine| {
+                    let ids: Vec<SegmentId> = engine.segments().iter().map(|s| s.id).collect();
+                    if ids.len() > 1 {
+                        engine.force_merge(&ids);
+                        1
+                    } else {
+                        0
+                    }
+                })
+            })
+            .into_iter()
+            .sum();
+        self.sweep_caches();
+        merged
+    }
+
     /// Runs the merge policy on every shard concurrently; returns merges
     /// performed.
     pub fn merge(&mut self) -> usize {
@@ -666,10 +698,13 @@ impl Esdb {
         let mut live: Vec<FastSet<SegmentId>> = Vec::with_capacity(self.shards.len());
         let mut shard_bytes = 0usize;
         for slot in &self.shards {
-            let engine = slot.engine.read();
-            gens.push(engine.search_generation());
+            // The published snapshot *is* the state the caches are keyed
+            // by (queries key entries off pinned views), so the sweep
+            // reads it directly — no engine lock.
+            let snap = slot.snapshots.pin();
+            gens.push(snap.search_generation());
             let mut ids = fast_set();
-            for seg in engine.segments() {
+            for seg in snap.segments() {
                 ids.insert(seg.id);
                 shard_bytes += seg.size_bytes();
             }
@@ -687,131 +722,91 @@ impl Esdb {
 
     /// Executes a SQL query (parse → Xdriver4ES translate → route to the
     /// tenant's shard span → optimize → execute → aggregate).
-    pub fn query(&mut self, sql: &str) -> Result<QueryRows> {
+    ///
+    /// The read path is lock-free: each shard of the fan-out pins the
+    /// shard's published snapshot once and executes entirely against it —
+    /// the per-shard engine lock is never taken, so concurrent
+    /// maintenance (refresh, merge, flush) neither blocks nor is blocked
+    /// by queries.
+    pub fn query(&self, sql: &str) -> Result<QueryRows> {
         self.query_opts(sql, QueryOptions::default())
     }
 
     /// Executes SQL with explicit options (the Fig. 17 harness turns the
     /// optimizer off through this).
-    pub fn query_opts(&mut self, sql: &str, opts: QueryOptions) -> Result<QueryRows> {
-        let query = translate(parse_sql(sql)?);
-        if query.table != self.schema.name {
-            return Err(EsdbError::UnknownCollection(query.table));
-        }
-        self.queries_total += 1;
-        let t0 = self.timers.as_ref().map(|_| Instant::now());
-        let trace = self.telemetry.should_trace().then(QueryTrace::new);
-        // Record sub-attribute usage for frequency-based indexing.
-        record_attr_usage(&query.filter, &self.shards);
-        let span = {
-            let _span = trace.as_ref().map(|t| t.span("route", 0));
-            self.route_query(&query)
-        };
-        // Plan once per query: plans depend only on the filter and the
-        // schema, so every shard of the fan-out shares one plan (and one
-        // fingerprint annotation).
-        let plan = {
-            let _span = trace.as_ref().map(|t| t.span("plan", 0));
-            if opts.use_optimizer {
-                optimize(&query.filter, &self.schema)
-            } else {
-                naive_plan(&query.filter)
-            }
-        };
-        let prepared = PreparedPlan::new(&plan);
-        let fp = query_fingerprint(&plan, &query);
-        // Scatter: each shard in the span executes independently under
-        // its read lock. The executor returns results in span order, so
-        // the gather below is deterministic for any parallelism degree.
-        let span_shards: Vec<ShardId> = span.iter().collect();
-        let query = &query;
-        let prepared = &prepared;
-        let shards = &self.shards;
-        let trace_ref = trace.as_ref();
-        let filter_cache = self
-            .config
-            .filter_cache_enabled
-            .then_some(&self.filter_cache);
-        let request_cache = self
-            .config
-            .request_cache_enabled
-            .then_some(&self.request_cache);
-        let shard_results: Vec<QueryRows> = self.executor.map(&span_shards, |_, shard| {
-            shards[shard.index()].with_read(|engine| {
-                let t_exec = trace_ref.map(|_| Instant::now());
-                // Tier 2: the whole per-shard result, keyed by the shard's
-                // search generation (bumped on every searchable-state
-                // change, so a hit is always current).
-                let key: RequestCacheKey = (shard.0, engine.search_generation(), fp);
-                let hit = request_cache.and_then(|rc| rc.get(&key));
-                if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
-                    t.record("cache_probe", 0, Some(shard.0), elapsed_ns(t0));
-                }
-                let rows = match hit {
-                    Some(hit) => (*hit).clone(),
-                    None => {
-                        let segs: Vec<&Segment> = engine.segments().iter().collect();
-                        // Tier 1: per-segment posting lists of cacheable
-                        // sub-plans (namespaced by shard — segment ids
-                        // repeat across shards).
-                        let ctx = filter_cache.map(|cache| FilterCacheContext {
-                            cache,
-                            shard: shard.0,
-                        });
-                        let rows =
-                            execute_prepared_on_segments(query, prepared, &segs, ctx.as_ref());
-                        if let Some(rc) = request_cache {
-                            rc.insert(key, Arc::new(rows.clone()), 1);
-                        }
-                        rows
-                    }
-                };
-                // Every shard of the fan-out reports an execute sample —
-                // cache hits and empty result sets included — so a
-                // gather over k shards always sees exactly k samples and
-                // per-shard timing never has holes.
-                if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
-                    t.record("execute", 0, Some(shard.0), elapsed_ns(t0));
-                }
-                rows
-            })
-        });
-        let merged = {
-            let _span = trace_ref.map(|t| t.span("gather", 0));
-            merge_results(shard_results, query.order_by.as_ref(), query.limit)
-        };
-        let total_ns = t0.map(elapsed_ns);
-        if let (Some(t), Some(ns)) = (&self.timers, total_ns) {
-            t.query_total.record(ns);
-        }
-        let samples = trace.map(QueryTrace::into_samples);
-        if let Some(samples) = &samples {
-            self.telemetry.record_stages("esdb_query_stage_ns", samples);
-        }
-        // Slow-query detection is always on when telemetry is enabled;
-        // per-stage timings ride along only for trace-sampled queries.
-        if let Some(ns) = total_ns {
-            if ns >= self.telemetry.slow_threshold_ns() {
-                self.telemetry.log_slow(SlowQueryEntry {
-                    sql: sql.to_string(),
-                    plan: plan.to_string(),
-                    fingerprint: fp,
-                    tenant: extract_tenant(&query.filter).map(|t| t.0),
-                    fanout: span_shards.len() as u32,
-                    total_ns: ns,
-                    stages: samples.unwrap_or_default(),
-                });
-            }
-        }
-        Ok(merged)
+    pub fn query_opts(&self, sql: &str, opts: QueryOptions) -> Result<QueryRows> {
+        run_query(&self.read_path(), sql, opts)
     }
 
-    /// The shard span a query will fan out to: the tenant's span when the
-    /// filter pins `tenant_id`, otherwise every shard.
-    fn route_query(&self, query: &Query) -> ShardSpan {
-        match extract_tenant(&query.filter) {
-            Some(tenant) => self.router.span(tenant, self.clock.now()),
-            None => ShardSpan::new(0, self.config.n_shards, self.config.n_shards),
+    /// Point lookup by routing triple against the routed shard's pinned
+    /// snapshot (lock-free; sees data as of the last refresh, like a
+    /// query).
+    pub fn get(
+        &self,
+        tenant: TenantId,
+        record: RecordId,
+        created_at: TimestampMs,
+    ) -> Option<Document> {
+        let shard = self.router.route(tenant, record, created_at);
+        self.shards[shard.index()]
+            .snapshots
+            .pin()
+            .get_record(record.raw())
+            .cloned()
+    }
+
+    /// Pins the current published snapshot of one shard. The returned
+    /// view answers identically forever, no matter what the engine does
+    /// afterwards.
+    pub fn pin_snapshot(&self, shard: ShardId) -> Arc<ShardSnapshot> {
+        self.shards[shard.index()].snapshots.pin()
+    }
+
+    /// A clone-able read handle sharing this instance's shards, caches,
+    /// router, and telemetry. Readers query concurrently from other
+    /// threads while this instance keeps writing — see [`EsdbReader`].
+    pub fn reader(&self) -> EsdbReader {
+        EsdbReader {
+            schema: self.schema.clone(),
+            n_shards: self.config.n_shards,
+            shards: self.shards.clone(),
+            filter_cache: self
+                .config
+                .filter_cache_enabled
+                .then(|| Arc::clone(&self.filter_cache)),
+            request_cache: self
+                .config
+                .request_cache_enabled
+                .then(|| Arc::clone(&self.request_cache)),
+            executor: self.executor.clone(),
+            router: Arc::clone(&self.router),
+            clock: self.clock.clone(),
+            queries_total: Arc::clone(&self.queries_total),
+            telemetry: Arc::clone(&self.telemetry),
+            timers: self.timers.clone(),
+        }
+    }
+
+    /// The borrowed bundle [`run_query`] executes against.
+    fn read_path(&self) -> ReadPath<'_> {
+        ReadPath {
+            schema: &self.schema,
+            n_shards: self.config.n_shards,
+            shards: &self.shards,
+            filter_cache: self
+                .config
+                .filter_cache_enabled
+                .then_some(self.filter_cache.as_ref()),
+            request_cache: self
+                .config
+                .request_cache_enabled
+                .then_some(self.request_cache.as_ref()),
+            executor: &self.executor,
+            router: &self.router,
+            clock: &self.clock,
+            queries_total: &self.queries_total,
+            telemetry: &self.telemetry,
+            timers: self.timers.as_ref(),
         }
     }
 
@@ -831,7 +826,7 @@ impl Esdb {
             rules: self.rule_count(),
             writes: self.writes_total,
             write_errors: self.write_errors_total,
-            queries: self.queries_total,
+            queries: self.queries_total.load(Ordering::Relaxed),
             parallelism: self.executor.parallelism(),
             filter_cache: self.filter_cache.stats(),
             request_cache: self.request_cache.stats(),
@@ -928,6 +923,228 @@ impl Esdb {
     }
 }
 
+/// Borrowed view of everything the scatter-gather read path needs,
+/// shared by [`Esdb`] and [`EsdbReader`] so both execute byte-identical
+/// queries.
+struct ReadPath<'a> {
+    schema: &'a CollectionSchema,
+    n_shards: u32,
+    shards: &'a [Arc<ShardSlot>],
+    filter_cache: Option<&'a SegmentFilterCache>,
+    request_cache: Option<&'a ShardedCache<RequestCacheKey, Arc<QueryRows>>>,
+    executor: &'a Executor,
+    router: &'a Router,
+    clock: &'a SharedClock,
+    queries_total: &'a AtomicU64,
+    telemetry: &'a Telemetry,
+    timers: Option<&'a CoreTimers>,
+}
+
+/// The scatter-gather query pipeline (parse → translate → route → plan →
+/// per-shard snapshot execution → gather), lock-free end to end: each
+/// shard pins its published snapshot once and never touches the engine
+/// lock.
+fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRows> {
+    let query = translate(parse_sql(sql)?);
+    if query.table != rp.schema.name {
+        return Err(EsdbError::UnknownCollection(query.table));
+    }
+    rp.queries_total.fetch_add(1, Ordering::Relaxed);
+    let t0 = rp.timers.map(|_| Instant::now());
+    let trace = rp.telemetry.should_trace().then(QueryTrace::new);
+    // Record sub-attribute usage for frequency-based indexing (shared
+    // tracker — no engine lock).
+    record_attr_usage(&query.filter, rp.shards);
+    // Route: the tenant's span when the filter pins `tenant_id`,
+    // otherwise every shard.
+    let span = {
+        let _span = trace.as_ref().map(|t| t.span("route", 0));
+        match extract_tenant(&query.filter) {
+            Some(tenant) => rp.router.span(tenant, rp.clock.now()),
+            None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
+        }
+    };
+    // Plan once per query: plans depend only on the filter and the
+    // schema, so every shard of the fan-out shares one plan (and one
+    // fingerprint annotation).
+    let plan = {
+        let _span = trace.as_ref().map(|t| t.span("plan", 0));
+        if opts.use_optimizer {
+            optimize(&query.filter, rp.schema)
+        } else {
+            naive_plan(&query.filter)
+        }
+    };
+    let prepared = PreparedPlan::new(&plan);
+    let fp = query_fingerprint(&plan, &query);
+    // Scatter: each shard in the span pins its published snapshot and
+    // executes independently. The executor returns results in span
+    // order, so the gather below is deterministic for any parallelism
+    // degree.
+    let span_shards: Vec<ShardId> = span.iter().collect();
+    let query = &query;
+    let prepared = &prepared;
+    let trace_ref = trace.as_ref();
+    let shard_results: Vec<QueryRows> = rp.executor.map(&span_shards, |_, shard| {
+        let slot = &rp.shards[shard.index()];
+        let t_busy = Instant::now();
+        // Pin once. This is the read path's only synchronization: two
+        // ref-count bumps under a sub-microsecond cell lock. Planning,
+        // cache probes, posting intersection, and row materialization
+        // below all run against the immutable view.
+        let snap = slot.snapshots.pin();
+        let t_exec = trace_ref.map(|_| Instant::now());
+        // Tier 2: the whole per-shard result. The generation is read
+        // out of the *pinned* snapshot, so key and data always travel
+        // together — a concurrent refresh between pin and probe cannot
+        // pair the new generation with the old segments (or vice
+        // versa).
+        let key: RequestCacheKey = (shard.0, snap.search_generation(), fp);
+        let hit = rp.request_cache.and_then(|rc| rc.get(&key));
+        if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
+            t.record("cache_probe", 0, Some(shard.0), elapsed_ns(t0));
+        }
+        let rows = match hit {
+            Some(hit) => (*hit).clone(),
+            None => {
+                // Tier 1: per-segment posting lists of cacheable
+                // sub-plans (namespaced by shard — segment ids repeat
+                // across shards).
+                let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
+                    cache,
+                    shard: shard.0,
+                });
+                let rows =
+                    execute_prepared_on_snapshot(query, prepared, snap.as_ref(), ctx.as_ref());
+                if let Some(rc) = rp.request_cache {
+                    rc.insert(key, Arc::new(rows.clone()), 1);
+                }
+                rows
+            }
+        };
+        // Every shard of the fan-out reports an execute sample — cache
+        // hits and empty result sets included — so a gather over k
+        // shards always sees exactly k samples and per-shard timing
+        // never has holes.
+        if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
+            t.record("execute", 0, Some(shard.0), elapsed_ns(t0));
+        }
+        // Lock-free execution still serves this shard's data, so the
+        // time is charged to its busy counter explicitly.
+        slot.busy_micros
+            .fetch_add(t_busy.elapsed().as_micros() as u64, Ordering::Relaxed);
+        rows
+    });
+    let merged = {
+        let _span = trace_ref.map(|t| t.span("gather", 0));
+        merge_results(shard_results, query.order_by.as_ref(), query.limit)
+    };
+    let total_ns = t0.map(elapsed_ns);
+    if let (Some(t), Some(ns)) = (rp.timers, total_ns) {
+        t.query_total.record(ns);
+    }
+    let samples = trace.map(QueryTrace::into_samples);
+    if let Some(samples) = &samples {
+        rp.telemetry.record_stages("esdb_query_stage_ns", samples);
+    }
+    // Slow-query detection is always on when telemetry is enabled;
+    // per-stage timings ride along only for trace-sampled queries.
+    if let Some(ns) = total_ns {
+        if ns >= rp.telemetry.slow_threshold_ns() {
+            rp.telemetry.log_slow(SlowQueryEntry {
+                sql: sql.to_string(),
+                plan: plan.to_string(),
+                fingerprint: fp,
+                tenant: extract_tenant(&query.filter).map(|t| t.0),
+                fanout: span_shards.len() as u32,
+                total_ns: ns,
+                stages: samples.unwrap_or_default(),
+            });
+        }
+    }
+    Ok(merged)
+}
+
+/// A clone-able, thread-safe read handle over a live [`Esdb`] instance.
+///
+/// Readers execute the exact same pipeline as [`Esdb::query`] — pinned
+/// snapshots, both cache tiers, routing rules, telemetry — without
+/// borrowing the instance: a writer thread keeps `&mut Esdb` while any
+/// number of reader threads query through their own handles, and
+/// neither side ever waits on a shard engine lock.
+///
+/// The handle captures the cache-enable flags and parallelism degree at
+/// creation; routing rules and published snapshots are shared live.
+#[derive(Clone)]
+pub struct EsdbReader {
+    schema: CollectionSchema,
+    n_shards: u32,
+    shards: Vec<Arc<ShardSlot>>,
+    filter_cache: Option<Arc<SegmentFilterCache>>,
+    request_cache: Option<Arc<ShardedCache<RequestCacheKey, Arc<QueryRows>>>>,
+    executor: Executor,
+    router: Arc<Router>,
+    clock: SharedClock,
+    queries_total: Arc<AtomicU64>,
+    telemetry: Arc<Telemetry>,
+    timers: Option<CoreTimers>,
+}
+
+impl EsdbReader {
+    /// Executes a SQL query against the shards' published snapshots
+    /// (identical semantics to [`Esdb::query`]).
+    pub fn query(&self, sql: &str) -> Result<QueryRows> {
+        self.query_opts(sql, QueryOptions::default())
+    }
+
+    /// Executes SQL with explicit options.
+    pub fn query_opts(&self, sql: &str, opts: QueryOptions) -> Result<QueryRows> {
+        run_query(&self.read_path(), sql, opts)
+    }
+
+    /// Point lookup by routing triple (see [`Esdb::get`]).
+    pub fn get(
+        &self,
+        tenant: TenantId,
+        record: RecordId,
+        created_at: TimestampMs,
+    ) -> Option<Document> {
+        let shard = self.router.route(tenant, record, created_at);
+        self.shards[shard.index()]
+            .snapshots
+            .pin()
+            .get_record(record.raw())
+            .cloned()
+    }
+
+    /// Pins the current published snapshot of one shard (see
+    /// [`Esdb::pin_snapshot`]).
+    pub fn pin_snapshot(&self, shard: ShardId) -> Arc<ShardSnapshot> {
+        self.shards[shard.index()].snapshots.pin()
+    }
+
+    /// The collection schema.
+    pub fn schema(&self) -> &CollectionSchema {
+        &self.schema
+    }
+
+    fn read_path(&self) -> ReadPath<'_> {
+        ReadPath {
+            schema: &self.schema,
+            n_shards: self.n_shards,
+            shards: &self.shards,
+            filter_cache: self.filter_cache.as_deref(),
+            request_cache: self.request_cache.as_deref(),
+            executor: &self.executor,
+            router: &self.router,
+            clock: &self.clock,
+            queries_total: &self.queries_total,
+            telemetry: &self.telemetry,
+            timers: self.timers.as_ref(),
+        }
+    }
+}
+
 /// Delta of the monotone cache counters; residency (`bytes`, `entries`)
 /// stays absolute since those are levels, not totals.
 fn cache_delta(current: &CacheStats, base: &CacheStats) -> CacheStats {
@@ -972,10 +1189,12 @@ fn record_attr_usage(e: &Expr, shards: &[Arc<ShardSlot>]) {
     if names.is_empty() {
         return;
     }
+    // The tracker is shared with each engine (which reads it at refresh
+    // to rank attrs), so recording here needs no engine lock.
     for slot in shards {
-        let mut engine = slot.engine.write();
+        let mut tracker = slot.attr_tracker.lock();
         for n in &names {
-            engine.attr_tracker_mut().record(n);
+            tracker.record(n);
         }
     }
 }
@@ -1030,7 +1249,7 @@ mod tests {
 
     #[test]
     fn unknown_table_rejected() {
-        let (mut db, _) = open("badtable", |c| c);
+        let (db, _) = open("badtable", |c| c);
         assert!(matches!(
             db.query("SELECT * FROM nope"),
             Err(EsdbError::UnknownCollection(_))
@@ -1153,7 +1372,7 @@ mod tests {
             }
             db.flush().unwrap();
         }
-        let mut db = Esdb::open(
+        let db = Esdb::open(
             CollectionSchema::transaction_logs(),
             EsdbConfig::new(&dir).shards(4),
         )

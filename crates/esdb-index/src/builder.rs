@@ -7,7 +7,9 @@
 //! in the `indexed_attrs` set get inverted indexes (§3.2, §6.3.3).
 
 use crate::analyzer::Analyzer;
-use crate::segment::{f64_sort_key, ColumnValues, CompositeIndex, DocId, Segment, SegmentId};
+use crate::segment::{
+    f64_sort_key, ColumnValues, CompositeIndex, DocId, LiveDocs, Segment, SegmentCore, SegmentId,
+};
 use esdb_common::fastmap::{fast_map, fast_set, FastMap, FastSet};
 use esdb_doc::{CollectionSchema, Document, FieldType, FieldValue};
 use std::collections::BTreeMap;
@@ -288,21 +290,25 @@ pub fn build_segment(
         size_bytes += c.compressed_size();
     }
 
-    Segment {
+    Segment::from_parts(
         id,
-        live: vec![true; n],
-        live_count: n,
-        by_record,
-        inverted,
-        numeric,
-        numeric_f64,
-        doc_values,
-        composites,
-        attr_inverted,
-        indexed_attrs: indexed_attrs.clone(),
-        docs,
-        size_bytes,
-    }
+        SegmentCore {
+            by_record,
+            inverted,
+            numeric,
+            numeric_f64,
+            doc_values,
+            composites,
+            attr_inverted,
+            indexed_attrs: indexed_attrs.clone(),
+            docs,
+            size_bytes,
+        },
+        LiveDocs {
+            bits: vec![true; n],
+            count: n,
+        },
+    )
 }
 
 #[cfg(test)]

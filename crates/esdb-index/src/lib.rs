@@ -25,6 +25,7 @@ pub mod freq;
 pub mod merge;
 pub mod postings;
 pub mod segment;
+pub mod snapshot;
 
 pub use analyzer::Analyzer;
 pub use builder::SegmentBuilder;
@@ -32,3 +33,4 @@ pub use freq::AttrFrequencyTracker;
 pub use merge::{MergePolicy, TieredMergePolicy};
 pub use postings::PostingList;
 pub use segment::{DocId, Segment, SegmentId};
+pub use snapshot::SnapshotView;

@@ -188,14 +188,12 @@ impl CompositeIndex {
     }
 }
 
-/// An immutable segment.
+/// The write-once payload of a segment: stored docs plus every index
+/// structure. Shared (`Arc`) between the engine's working set and any
+/// number of pinned snapshots; never mutated after build.
 #[derive(Debug, Clone, Default)]
-pub struct Segment {
-    /// Cluster-unique id.
-    pub id: SegmentId,
+pub(crate) struct SegmentCore {
     pub(crate) docs: Vec<Document>,
-    pub(crate) live: Vec<bool>,
-    pub(crate) live_count: usize,
     pub(crate) by_record: FastMap<u64, DocId>,
     /// field -> term -> postings.
     pub(crate) inverted: FastMap<String, BTreeMap<String, PostingList>>,
@@ -212,35 +210,68 @@ pub struct Segment {
     pub(crate) size_bytes: usize,
 }
 
+/// The per-segment tombstone overlay. Copy-on-write: a tombstone applied
+/// while a snapshot shares the overlay clones the bitmap instead of
+/// mutating it, so pinned readers keep their point-in-time liveness.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LiveDocs {
+    pub(crate) bits: Vec<bool>,
+    pub(crate) count: usize,
+}
+
+/// An immutable segment.
+///
+/// Cloning is O(1): the doc store and indexes live in a shared
+/// [`SegmentCore`] and the tombstone bitmap in a shared [`LiveDocs`],
+/// both behind `Arc`. Deletes copy the liveness overlay on write
+/// (`Arc::make_mut`), never the core.
+#[derive(Debug, Clone, Default)]
+pub struct Segment {
+    /// Cluster-unique id.
+    pub id: SegmentId,
+    pub(crate) core: std::sync::Arc<SegmentCore>,
+    pub(crate) live: std::sync::Arc<LiveDocs>,
+}
+
 impl Segment {
+    /// Assembles a segment from its built parts.
+    pub(crate) fn from_parts(id: SegmentId, core: SegmentCore, live: LiveDocs) -> Self {
+        Segment {
+            id,
+            core: std::sync::Arc::new(core),
+            live: std::sync::Arc::new(live),
+        }
+    }
+
     /// Total docs including deleted.
     pub fn doc_count(&self) -> usize {
-        self.docs.len()
+        self.core.docs.len()
     }
 
     /// Live (non-deleted) docs.
     pub fn live_count(&self) -> usize {
-        self.live_count
+        self.live.count
     }
 
     /// Approximate on-disk size in bytes.
     pub fn size_bytes(&self) -> usize {
-        self.size_bytes
+        self.core.size_bytes
     }
 
     /// The stored document (even if deleted — callers filter by liveness).
     pub fn doc(&self, id: DocId) -> Option<&Document> {
-        self.docs.get(id as usize)
+        self.core.docs.get(id as usize)
     }
 
     /// Whether `id` is live.
     pub fn is_live(&self, id: DocId) -> bool {
-        self.live.get(id as usize).copied().unwrap_or(false)
+        self.live.bits.get(id as usize).copied().unwrap_or(false)
     }
 
     /// Doc id holding `record_id`, if present and live.
     pub fn find_record(&self, record_id: u64) -> Option<DocId> {
-        self.by_record
+        self.core
+            .by_record
             .get(&record_id)
             .copied()
             .filter(|&d| self.is_live(d))
@@ -248,11 +279,15 @@ impl Segment {
 
     /// Marks the doc holding `record_id` deleted; returns whether a live
     /// doc was deleted. (Lucene-style per-segment tombstone.)
+    ///
+    /// Copy-on-write: if a pinned snapshot still shares this overlay, the
+    /// bitmap is cloned first, so the snapshot's liveness is untouched.
     pub fn delete_record(&mut self, record_id: u64) -> bool {
-        if let Some(&d) = self.by_record.get(&record_id) {
-            if self.live[d as usize] {
-                self.live[d as usize] = false;
-                self.live_count -= 1;
+        if let Some(&d) = self.core.by_record.get(&record_id) {
+            if self.live.bits[d as usize] {
+                let live = std::sync::Arc::make_mut(&mut self.live);
+                live.bits[d as usize] = false;
+                live.count -= 1;
                 return true;
             }
         }
@@ -262,23 +297,42 @@ impl Segment {
     /// All live docs.
     pub fn all_live(&self) -> PostingList {
         PostingList::from_sorted(
-            (0..self.docs.len() as DocId)
-                .filter(|&d| self.live[d as usize])
+            (0..self.core.docs.len() as DocId)
+                .filter(|&d| self.live.bits[d as usize])
                 .collect(),
         )
     }
 
     /// Drops deleted docs from a posting list.
     pub fn filter_live(&self, list: PostingList) -> PostingList {
-        if self.live_count == self.docs.len() {
+        if self.live.count == self.core.docs.len() {
             return list;
         }
-        PostingList::from_sorted(list.iter().filter(|&d| self.live[d as usize]).collect())
+        PostingList::from_sorted(
+            list.iter()
+                .filter(|&d| self.live.bits[d as usize])
+                .collect(),
+        )
+    }
+
+    /// [`Segment::filter_live`] over a borrowed list: callers holding a
+    /// shared (e.g. cached) posting list skip the upfront clone when
+    /// tombstones force a rebuild anyway.
+    pub fn filter_live_ref(&self, list: &PostingList) -> PostingList {
+        if self.live.count == self.core.docs.len() {
+            return list.clone();
+        }
+        PostingList::from_sorted(
+            list.iter()
+                .filter(|&d| self.live.bits[d as usize])
+                .collect(),
+        )
     }
 
     /// Term lookup in a field's inverted index (term must be normalized).
     pub fn term_docs(&self, field: &str, term: &str) -> PostingList {
-        self.inverted
+        self.core
+            .inverted
             .get(field)
             .and_then(|m| m.get(term))
             .cloned()
@@ -288,17 +342,17 @@ impl Segment {
 
     /// Whether `field` has an inverted index in this segment.
     pub fn has_inverted(&self, field: &str) -> bool {
-        self.inverted.contains_key(field)
+        self.core.inverted.contains_key(field)
     }
 
     /// Whether `field` has a numeric index in this segment.
     pub fn has_numeric(&self, field: &str) -> bool {
-        self.numeric.contains_key(field)
+        self.core.numeric.contains_key(field)
     }
 
     /// Whether `field` has an f64 numeric index in this segment.
     pub fn has_numeric_f64(&self, field: &str) -> bool {
-        self.numeric_f64.contains_key(field)
+        self.core.numeric_f64.contains_key(field)
     }
 
     /// f64 range lookup with explicit bound kinds.
@@ -308,7 +362,7 @@ impl Segment {
         lo: std::ops::Bound<f64>,
         hi: std::ops::Bound<f64>,
     ) -> PostingList {
-        let Some(idx) = self.numeric_f64.get(field) else {
+        let Some(idx) = self.core.numeric_f64.get(field) else {
             return PostingList::new();
         };
         let start = match lo {
@@ -349,7 +403,7 @@ impl Segment {
 
     /// Numeric range lookup `[lo, hi]` (inclusive, either side optional).
     pub fn numeric_range(&self, field: &str, lo: Option<i64>, hi: Option<i64>) -> PostingList {
-        let Some(idx) = self.numeric.get(field) else {
+        let Some(idx) = self.core.numeric.get(field) else {
             return PostingList::new();
         };
         let start = match lo {
@@ -372,7 +426,7 @@ impl Segment {
 
     /// Access to a composite index by name.
     pub fn composite(&self, name: &str) -> Option<&CompositeIndex> {
-        self.composites.get(name)
+        self.core.composites.get(name)
     }
 
     /// Composite lookup, filtered to live docs.
@@ -382,7 +436,8 @@ impl Segment {
         prefix: &[u8],
         range: Option<EncodedRange<'_>>,
     ) -> PostingList {
-        self.composites
+        self.core
+            .composites
             .get(name)
             .map(|c| self.filter_live(c.lookup(prefix, range)))
             .unwrap_or_default()
@@ -392,11 +447,12 @@ impl Segment {
     /// frequency-indexed in this segment (callers fall back to a stored-doc
     /// scan).
     pub fn attr_docs(&self, name: &str, value: &str) -> Option<PostingList> {
-        if !self.indexed_attrs.contains(name) {
+        if !self.core.indexed_attrs.contains(name) {
             return None;
         }
         Some(
-            self.attr_inverted
+            self.core
+                .attr_inverted
                 .get(name)
                 .and_then(|m| m.get(value))
                 .cloned()
@@ -415,14 +471,14 @@ impl Segment {
                 .doc(doc)
                 .map(|d| FieldValue::Int(d.record_id.raw() as i64)),
             "created_time" => self.doc(doc).map(|d| FieldValue::Timestamp(d.created_at)),
-            _ => self.doc_values.get(field).and_then(|c| c.get(doc)),
+            _ => self.core.doc_values.get(field).and_then(|c| c.get(doc)),
         }
     }
 
     /// Whether a doc-values column exists for `field`.
     pub fn has_doc_values(&self, field: &str) -> bool {
         matches!(field, "tenant_id" | "record_id" | "created_time")
-            || self.doc_values.contains_key(field)
+            || self.core.doc_values.contains_key(field)
     }
 
     /// Sequential scan (§5.1): filter an input posting list by a predicate
@@ -441,15 +497,16 @@ impl Segment {
 
     /// Names of the sub-attributes indexed in this segment.
     pub fn indexed_attrs(&self) -> &FastSet<String> {
-        &self.indexed_attrs
+        &self.core.indexed_attrs
     }
 
     /// Iterates live documents (doc id + document).
     pub fn live_docs(&self) -> impl Iterator<Item = (DocId, &Document)> {
-        self.docs
+        self.core
+            .docs
             .iter()
             .enumerate()
-            .filter(|(i, _)| self.live[*i])
+            .filter(|(i, _)| self.live.bits[*i])
             .map(|(i, d)| (i as DocId, d))
     }
 }

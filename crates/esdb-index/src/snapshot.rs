@@ -1,0 +1,38 @@
+//! Point-in-time read views.
+//!
+//! A snapshot is an immutable, Arc-shared set of sealed segments plus the
+//! generation it was published under. The storage layer publishes one on
+//! every refresh/merge/tombstone/flush; the query layer executes against
+//! the [`SnapshotView`] trait so it never sees (or locks) the mutable
+//! engine. The trait lives here — in the crate both sides depend on —
+//! so `esdb-storage` can implement it for its snapshot type and
+//! `esdb-query` can consume it without a dependency cycle.
+
+use crate::segment::Segment;
+use std::sync::Arc;
+
+/// An immutable point-in-time view of one shard's sealed segments.
+///
+/// Implementations must guarantee:
+///
+/// * **Stability** — the segment set and every segment's liveness bitmap
+///   never change after the view is handed out, even while the engine
+///   refreshes, merges, or tombstones behind it.
+/// * **Atomicity** — [`search_generation`](SnapshotView::search_generation)
+///   is the generation the segment set was published under; the two always
+///   travel together, so a cache entry keyed on the pair can never mix
+///   rows from two different views.
+pub trait SnapshotView {
+    /// The sealed segments of this view, oldest first.
+    fn segments(&self) -> &[Arc<Segment>];
+
+    /// The search generation the view was published under. Bumped by any
+    /// visibility change (refresh, merge, tombstone), so equal generations
+    /// imply identical query results.
+    fn search_generation(&self) -> u64;
+
+    /// Total live docs across the view (default: sum over segments).
+    fn live_count(&self) -> usize {
+        self.segments().iter().map(|s| s.live_count()).sum()
+    }
+}

@@ -16,6 +16,7 @@ use crate::optimizer::optimize;
 use crate::plan::Plan;
 use esdb_common::cache::ShardedCache;
 use esdb_doc::{CollectionSchema, Document, FieldValue};
+use esdb_index::snapshot::SnapshotView;
 use esdb_index::{Analyzer, PostingList, Segment, SegmentId};
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -113,10 +114,8 @@ fn index_predicate(
                     }
                     None => {
                         // No usable index in this segment: exact per-value
-                        // scan (the temporary Expr exists only on this
-                        // cold fallback path).
-                        let scan_pred = Expr::Eq(col.clone(), v.clone());
-                        lists.push(scan_predicate(&scan_pred, seg, &seg.all_live(), work));
+                        // scan, still borrowing the operands.
+                        lists.push(scan_eq(col, v, seg, &seg.all_live(), work));
                     }
                 }
             }
@@ -267,6 +266,63 @@ fn scan_predicate(pred: &Expr, seg: &Segment, input: &PostingList, work: &mut Wo
     }
 }
 
+/// Exact `col = v` scan over `input`, borrowing both operands (same
+/// semantics as [`scan_predicate`] with an `Expr::Eq`, without building
+/// the temporary expression tree).
+fn scan_eq(
+    col: &str,
+    v: &FieldValue,
+    seg: &Segment,
+    input: &PostingList,
+    work: &mut Work,
+) -> PostingList {
+    work.docs += input.len() as u64;
+    if seg.has_doc_values(col) {
+        seg.scan_filter(col, input, |x| x.is_some_and(|x| values_eq(x, v)))
+    } else {
+        PostingList::from_sorted(
+            input
+                .iter()
+                .filter(|&d| {
+                    seg.doc(d)
+                        .is_some_and(|doc| doc.get(col).is_some_and(|x| values_eq(&x, v)))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Exact `lo <= col <= hi` scan over `input`, borrowing the bounds (same
+/// semantics as [`scan_predicate`] with an `Expr::Range`).
+fn scan_range(
+    col: &str,
+    lo: &Bound,
+    hi: &Bound,
+    seg: &Segment,
+    input: &PostingList,
+    work: &mut Work,
+) -> PostingList {
+    work.docs += input.len() as u64;
+    if seg.has_doc_values(col) {
+        seg.scan_filter(col, input, |x| {
+            let Some(x) = x else { return false };
+            bound_ok(x, lo, true) && bound_ok(x, hi, false)
+        })
+    } else {
+        PostingList::from_sorted(
+            input
+                .iter()
+                .filter(|&d| {
+                    seg.doc(d).is_some_and(|doc| {
+                        doc.get(col)
+                            .is_some_and(|x| bound_ok(&x, lo, true) && bound_ok(&x, hi, false))
+                    })
+                })
+                .collect(),
+        )
+    }
+}
+
 fn bound_ok(x: &FieldValue, b: &Bound, is_lo: bool) -> bool {
     match b {
         Bound::Unbounded => true,
@@ -295,17 +351,14 @@ fn execute_plan(plan: &Plan, seg: &Segment, analyzer: &Analyzer, work: &mut Work
         Plan::CompositeScan { index, eq, range } => {
             let Some(_) = seg.composite(index) else {
                 // Segment without the composite (e.g. built before the
-                // schema declared it): fall back to exact scanning.
-                let mut preds: Vec<Expr> = eq
-                    .iter()
-                    .map(|(c, v)| Expr::Eq(c.clone(), v.clone()))
-                    .collect();
-                if let Some((c, lo, hi)) = range {
-                    preds.push(Expr::Range(c.clone(), lo.clone(), hi.clone()));
-                }
+                // schema declared it): fall back to exact scanning of the
+                // plan's borrowed fragments — no Expr trees are rebuilt.
                 let mut acc = seg.all_live();
-                for p in &preds {
-                    acc = scan_predicate(p, seg, &acc, work);
+                for (c, v) in eq {
+                    acc = scan_eq(c, v, seg, &acc, work);
+                }
+                if let Some((c, lo, hi)) = range {
+                    acc = scan_range(c, lo, hi, seg, &acc, work);
                 }
                 return acc;
             };
@@ -465,7 +518,7 @@ fn execute_node(
                 // monotone, so this equals recomputing from scratch.
                 // Work counters stay untouched — a hit does none of the
                 // index work the counters measure.
-                return seg.filter_live((*hit).clone());
+                return seg.filter_live_ref(&hit);
             }
             let out = execute_plan(plan, seg, analyzer, work);
             ctx.cache
@@ -544,6 +597,34 @@ pub fn execute_prepared_on_segments(
             execute_node(&prepared.root, seg, analyzer, work, ctx)
         }),
     }
+}
+
+/// Executes a full query against a pinned point-in-time view. The view
+/// is immutable, so execution is lock-free end to end: planning, cache
+/// probes, posting intersection, and row materialization all run against
+/// the snapshot's sealed segments.
+pub fn execute_on_snapshot<V: SnapshotView + ?Sized>(
+    query: &Query,
+    schema: &CollectionSchema,
+    view: &V,
+    opts: QueryOptions,
+) -> QueryRows {
+    let segs: Vec<&Segment> = view.segments().iter().map(|s| s.as_ref()).collect();
+    execute_on_segments(query, schema, &segs, opts)
+}
+
+/// Executes a prepared plan against a pinned point-in-time view (see
+/// [`execute_on_snapshot`]). Tier-1 cache entries are keyed by the
+/// view's segment ids; because the view is frozen, a concurrent refresh
+/// or merge can neither invalidate nor corrupt entries mid-query.
+pub fn execute_prepared_on_snapshot<V: SnapshotView + ?Sized>(
+    query: &Query,
+    prepared: &PreparedPlan<'_>,
+    view: &V,
+    cache: Option<&FilterCacheContext<'_>>,
+) -> QueryRows {
+    let segs: Vec<&Segment> = view.segments().iter().map(|s| s.as_ref()).collect();
+    execute_prepared_on_segments(query, prepared, &segs, cache)
 }
 
 /// The shared collection / sort / limit / fetch skeleton: runs `matcher`

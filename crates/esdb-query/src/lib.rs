@@ -28,8 +28,9 @@ pub mod xdriver;
 
 pub use ast::{Bound, Expr, OrderBy, Query};
 pub use executor::{
-    execute_on_segments, execute_plan_on_segments, execute_prepared_on_segments,
-    FilterCacheContext, FilterCacheKey, PreparedPlan, QueryOptions, QueryRows, SegmentFilterCache,
+    execute_on_segments, execute_on_snapshot, execute_plan_on_segments,
+    execute_prepared_on_segments, execute_prepared_on_snapshot, FilterCacheContext, FilterCacheKey,
+    PreparedPlan, QueryOptions, QueryRows, SegmentFilterCache,
 };
 pub use optimizer::optimize;
 pub use plan::{query_fingerprint, Plan};

@@ -5,7 +5,8 @@ use esdb_common::fastmap::{fast_map, FastMap};
 use esdb_common::{Clock, Result, SharedClock, TimestampMs};
 use esdb_doc::{CollectionSchema, WriteOp};
 use esdb_index::{Segment, SegmentId};
-use esdb_storage::{ShardConfig, ShardEngine};
+use esdb_storage::{ShardConfig, ShardEngine, ShardSnapshot};
+use std::sync::Arc;
 
 /// Which replication scheme the pair runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,8 +70,10 @@ pub struct ReplicatedPair {
     primary: ShardEngine,
     /// Logical mode: a full engine that re-executes writes.
     replica_engine: Option<ShardEngine>,
-    /// Physical mode: installed segment copies, keyed by id.
-    replica_segments: FastMap<SegmentId, Segment>,
+    /// Physical mode: installed segment copies, keyed by id. Shipping is
+    /// an `Arc` share of the primary's sealed segment — the in-process
+    /// stand-in for copying immutable segment files.
+    replica_segments: FastMap<SegmentId, Arc<Segment>>,
     /// Physical mode: the replica's translog mirror (for promotion).
     replica_translog: Vec<WriteOp>,
     /// When each segment became visible on the primary.
@@ -201,7 +204,7 @@ impl ReplicatedPair {
             if let Some(seg) = self.primary.segments().iter().find(|s| s.id == id) {
                 self.metrics.segment_bytes_shipped += seg.size_bytes() as u64;
                 self.metrics.segments_shipped_incremental += 1;
-                self.install_on_replica(seg.clone());
+                self.install_on_replica(Arc::clone(seg));
             }
         }
         for id in &diff.to_delete {
@@ -213,7 +216,7 @@ impl ReplicatedPair {
         diff
     }
 
-    fn install_on_replica(&mut self, seg: Segment) {
+    fn install_on_replica(&mut self, seg: Arc<Segment>) {
         let now = self.clock.now();
         if let Some(&vis) = self.visible_on_primary.get(&seg.id) {
             self.metrics
@@ -243,7 +246,7 @@ impl ReplicatedPair {
                     if let Some(seg) = self.primary.segments().iter().find(|s| s.id == merged) {
                         self.metrics.segment_bytes_shipped += seg.size_bytes() as u64;
                         self.metrics.segments_shipped_prereplicated += 1;
-                        let seg = seg.clone();
+                        let seg = Arc::clone(seg);
                         self.install_on_replica(seg);
                     }
                 }
@@ -260,6 +263,40 @@ impl ReplicatedPair {
     /// Mutable access to the primary engine.
     pub fn primary_mut(&mut self) -> &mut ShardEngine {
         &mut self.primary
+    }
+
+    /// Pins the primary's published point-in-time snapshot — the normal
+    /// read path. Lock-free: the view stays valid and answers
+    /// identically regardless of concurrent writes, refreshes, or
+    /// merges on the pair.
+    pub fn read_snapshot(&self) -> Arc<ShardSnapshot> {
+        self.primary.pin_snapshot()
+    }
+
+    /// Pins a point-in-time view served by the *survivor* when the
+    /// primary is unavailable (degraded reads, §5.2): under logical
+    /// replication this is the replica engine's published snapshot;
+    /// under physical replication the installed segment copies are
+    /// frozen into a snapshot directly. Either way the returned view is
+    /// immutable — queries against it run lock-free and keep answering
+    /// identically even as replication later installs or retires
+    /// segments.
+    pub fn degraded_read_snapshot(&self) -> Arc<ShardSnapshot> {
+        match self.mode {
+            ReplicationMode::Logical => self
+                .replica_engine
+                .as_ref()
+                .expect("logical mode has a replica engine")
+                .pin_snapshot(),
+            ReplicationMode::Physical { .. } => {
+                let mut segs: Vec<Arc<Segment>> =
+                    self.replica_segments.values().map(Arc::clone).collect();
+                segs.sort_unstable_by_key(|s| s.id);
+                // Snapshot ids advance with every replication pass, so
+                // successive degraded views carry monotone generations.
+                Arc::new(ShardSnapshot::from_segments(segs, self.next_snapshot_id))
+            }
+        }
     }
 
     /// Live docs visible on the replica.
@@ -489,6 +526,55 @@ mod tests {
             "promotion replays the synced translog"
         );
         assert!(promoted.get_record(14).is_some());
+    }
+
+    #[test]
+    fn degraded_reads_pin_survivor_snapshot() {
+        let mut p = pair(
+            "degraded",
+            ReplicationMode::Physical {
+                pre_replicate_merges: false,
+            },
+        );
+        for batch in 0..4 {
+            for r in 0..10 {
+                p.write(&doc(batch * 10 + r)).unwrap();
+            }
+            p.refresh().unwrap();
+        }
+        let degraded = p.degraded_read_snapshot();
+        assert_eq!(degraded.live_docs(), 40);
+        assert!(degraded.get_record(17).is_some());
+        // The pinned view must survive the primary merging away its
+        // segments and the next replication pass retiring the replica's
+        // copies.
+        let live: Vec<SegmentId> = p.primary().segments().iter().map(|s| s.id).collect();
+        p.primary_mut().force_merge(&live);
+        p.refresh().unwrap();
+        assert_eq!(
+            p.replica_segment_ids().len(),
+            1,
+            "replica converged to the merged segment"
+        );
+        assert_eq!(degraded.live_docs(), 40);
+        assert_eq!(
+            degraded.segments().len(),
+            4,
+            "pinned view keeps its original segments"
+        );
+        assert!(degraded.get_record(17).is_some());
+        // A fresh pin sees the converged state.
+        assert_eq!(p.degraded_read_snapshot().segments().len(), 1);
+
+        // Logical mode: the survivor is the replica engine's snapshot.
+        let mut lp = pair("degraded-logical", ReplicationMode::Logical);
+        for r in 0..10 {
+            lp.write(&doc(r)).unwrap();
+        }
+        lp.refresh().unwrap();
+        let view = lp.degraded_read_snapshot();
+        assert_eq!(view.live_docs(), 10);
+        assert!(view.get_record(3).is_some());
     }
 
     #[test]

@@ -19,7 +19,9 @@
 pub mod codec;
 pub mod persist;
 pub mod shard;
+pub mod snapshot;
 pub mod translog;
 
 pub use shard::{ShardConfig, ShardEngine, ShardStats};
+pub use snapshot::{ShardSnapshot, SnapshotCell};
 pub use translog::{Translog, WriteFault};

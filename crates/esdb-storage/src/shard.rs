@@ -2,6 +2,7 @@
 //! segments, merging, and recovery (paper §3.3, Fig. 3 "Execution Layer").
 
 use crate::persist;
+use crate::snapshot::{ShardSnapshot, SnapshotCell};
 use crate::translog::{Translog, WriteFault};
 use esdb_common::fastmap::{fast_map, fast_set, FastMap, FastSet};
 use esdb_common::Result;
@@ -9,6 +10,7 @@ use esdb_doc::{CollectionSchema, Document, WriteKind, WriteOp};
 use esdb_index::merge::merge_segments;
 use esdb_index::{AttrFrequencyTracker, MergePolicy, Segment, SegmentId, TieredMergePolicy};
 use esdb_telemetry::{Histogram, Labels, Telemetry};
+use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -130,8 +132,9 @@ pub struct ShardEngine {
     buffer: Vec<Option<Document>>,
     buffer_by_record: FastMap<u64, usize>,
     buffer_bytes: usize,
-    // Searchable state.
-    segments: Vec<Segment>,
+    // Searchable state. Segments are `Arc`-shared with published
+    // snapshots; tombstones copy-on-write, never mutate in place.
+    segments: Vec<Arc<Segment>>,
     next_segment_id: SegmentId,
     /// Segments persisted as of the last flush.
     persisted: FastSet<SegmentId>,
@@ -141,9 +144,11 @@ pub struct ShardEngine {
     /// references; deleting them before the next commit point is written
     /// would lose data on a crash (the Lucene deletion policy).
     pending_file_deletes: Vec<SegmentId>,
-    // Frequency-based sub-attribute indexing (§3.2).
-    attr_tracker: AttrFrequencyTracker,
-    indexed_attrs: FastSet<String>,
+    // Frequency-based sub-attribute indexing (§3.2). Shared with the
+    // query layer, which records filtered attributes without taking the
+    // engine lock.
+    attr_tracker: Arc<Mutex<AttrFrequencyTracker>>,
+    indexed_attrs: Arc<FastSet<String>>,
     stats_refreshes: u64,
     stats_merges: u64,
     timers: Option<StageTimers>,
@@ -152,6 +157,11 @@ pub struct ShardEngine {
     /// request cache keys whole results by this, so any change makes every
     /// cached result for the shard unreachable.
     generation: u64,
+    /// Generation of the snapshot last published into `snapshots`.
+    published_generation: u64,
+    /// Where readers pin point-in-time views; shared with `ShardSlot`
+    /// so pinning never touches the engine lock.
+    snapshots: Arc<SnapshotCell>,
 }
 
 impl ShardEngine {
@@ -178,12 +188,18 @@ impl ShardEngine {
             persisted: fast_set(),
             dirty: fast_set(),
             pending_file_deletes: Vec::new(),
-            attr_tracker: AttrFrequencyTracker::new(),
-            indexed_attrs: fast_set(),
+            attr_tracker: Arc::new(Mutex::new(AttrFrequencyTracker::new())),
+            indexed_attrs: Arc::new(fast_set()),
             stats_refreshes: 0,
             stats_merges: 0,
             timers,
             generation: 0,
+            published_generation: 0,
+            snapshots: Arc::new(SnapshotCell::new(ShardSnapshot::capture(
+                &[],
+                0,
+                Arc::new(fast_set()),
+            ))),
             config,
         };
 
@@ -197,7 +213,7 @@ impl ShardEngine {
                     &engine.indexed_attrs,
                 )?;
                 engine.persisted.insert(id);
-                engine.segments.push(seg);
+                engine.segments.push(Arc::new(seg));
             }
             engine.next_segment_id = next_id;
         }
@@ -205,6 +221,8 @@ impl ShardEngine {
         for op in tail {
             engine.apply_to_memory(&op);
         }
+        // First publication: recovered state becomes the readers' view.
+        engine.publish_snapshot();
         Ok(engine)
     }
 
@@ -240,6 +258,9 @@ impl ShardEngine {
         {
             self.refresh();
         }
+        // A tombstone that landed in a segment changed the searchable
+        // state — publish it (refresh publishes on its own).
+        self.maybe_publish();
         Ok(())
     }
 
@@ -252,23 +273,32 @@ impl ShardEngine {
         self.buffer_by_record.len()
     }
 
+    /// Tombstones `rid` in whichever segment holds it live. Copy-on-write:
+    /// if a published snapshot still shares the segment, `Arc::make_mut`
+    /// detaches the engine's copy first, so pinned readers are untouched.
+    fn tombstone_in_segments(&mut self, rid: u64) {
+        for seg in &mut self.segments {
+            if seg.find_record(rid).is_some() {
+                if Arc::make_mut(seg).delete_record(rid) {
+                    self.dirty.insert(seg.id);
+                    self.generation += 1;
+                }
+                break;
+            }
+        }
+    }
+
     fn apply_to_memory(&mut self, op: &WriteOp) {
         let rid = op.doc.record_id.raw();
         match op.kind {
             WriteKind::Insert | WriteKind::Update => {
-                self.attr_tracker.record_write(op.doc.attrs());
+                self.attr_tracker.lock().record_write(op.doc.attrs());
                 if let Some(&idx) = self.buffer_by_record.get(&rid) {
                     // Replace in place (workload batching lands here too).
                     self.buffer[idx] = Some(op.doc.clone());
                 } else {
                     // If the record lives in a segment, tombstone it there.
-                    for seg in &mut self.segments {
-                        if seg.delete_record(rid) {
-                            self.dirty.insert(seg.id);
-                            self.generation += 1;
-                            break;
-                        }
-                    }
+                    self.tombstone_in_segments(rid);
                     self.buffer_by_record.insert(rid, self.buffer.len());
                     self.buffer.push(Some(op.doc.clone()));
                 }
@@ -278,13 +308,7 @@ impl ShardEngine {
                 if let Some(idx) = self.buffer_by_record.remove(&rid) {
                     self.buffer[idx] = None;
                 }
-                for seg in &mut self.segments {
-                    if seg.delete_record(rid) {
-                        self.dirty.insert(seg.id);
-                        self.generation += 1;
-                        break;
-                    }
-                }
+                self.tombstone_in_segments(rid);
             }
         }
     }
@@ -297,7 +321,8 @@ impl ShardEngine {
         // Re-rank indexed sub-attributes before building (frequency-based
         // indexing responds to drift).
         if self.schema.attr_index_top_k > 0 {
-            self.indexed_attrs = self.attr_tracker.top_k(self.schema.attr_index_top_k);
+            self.indexed_attrs =
+                Arc::new(self.attr_tracker.lock().top_k(self.schema.attr_index_top_k));
         }
         let docs: Vec<Document> = self.buffer.drain(..).flatten().collect();
         self.buffer_by_record.clear();
@@ -315,9 +340,10 @@ impl ShardEngine {
             &self.indexed_attrs,
             size,
         );
-        self.segments.push(seg);
+        self.segments.push(Arc::new(seg));
         self.stats_refreshes += 1;
         self.generation += 1;
+        self.maybe_publish();
         if let (Some(t), Some(t0)) = (&self.timers, t0) {
             t.refresh.record(ns_since(t0));
         }
@@ -346,6 +372,7 @@ impl ShardEngine {
             .segments
             .iter()
             .filter(|s| ids.contains(&s.id))
+            .map(|s| s.as_ref())
             .collect();
         let new_id = self.next_segment_id;
         self.next_segment_id += 1;
@@ -359,9 +386,10 @@ impl ShardEngine {
             }
             self.dirty.remove(id);
         }
-        self.segments.push(merged);
+        self.segments.push(Arc::new(merged));
         self.stats_merges += 1;
         self.generation += 1;
+        self.maybe_publish();
         if let (Some(t), Some(t0)) = (&self.timers, t0) {
             t.merge.record(ns_since(t0));
         }
@@ -394,9 +422,39 @@ impl ShardEngine {
         Ok(())
     }
 
-    /// The searchable segments (the query engine walks these).
-    pub fn segments(&self) -> &[Segment] {
+    /// The searchable segments (maintenance and replication walk these;
+    /// the query engine executes against a pinned snapshot instead).
+    pub fn segments(&self) -> &[Arc<Segment>] {
         &self.segments
+    }
+
+    /// The shard's snapshot cell. `ShardSlot` shares this so readers pin
+    /// point-in-time views without touching the engine lock.
+    pub fn snapshot_cell(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.snapshots)
+    }
+
+    /// Pins the currently published snapshot.
+    pub fn pin_snapshot(&self) -> Arc<ShardSnapshot> {
+        self.snapshots.pin()
+    }
+
+    /// Publishes the current searchable state if it changed since the
+    /// last publication.
+    fn maybe_publish(&mut self) {
+        if self.generation != self.published_generation {
+            self.publish_snapshot();
+        }
+    }
+
+    /// Unconditionally publishes the current searchable state.
+    fn publish_snapshot(&mut self) {
+        self.snapshots.publish(ShardSnapshot::capture(
+            &self.segments,
+            self.generation,
+            Arc::clone(&self.indexed_attrs),
+        ));
+        self.published_generation = self.generation;
     }
 
     /// Search generation: changes iff the result of some query over this
@@ -439,10 +497,11 @@ impl ShardEngine {
         }
     }
 
-    /// The sub-attribute frequency tracker (queries record their filtered
-    /// attributes here too).
-    pub fn attr_tracker_mut(&mut self) -> &mut AttrFrequencyTracker {
-        &mut self.attr_tracker
+    /// Shared handle to the sub-attribute frequency tracker. Queries
+    /// record their filtered attributes through this without holding any
+    /// engine lock; refresh reads the ranking through the same handle.
+    pub fn attr_tracker(&self) -> Arc<Mutex<AttrFrequencyTracker>> {
+        Arc::clone(&self.attr_tracker)
     }
 
     /// Currently indexed sub-attributes.

@@ -95,7 +95,7 @@ fn main() {
     // Durability: flush segments + roll the translog, then reopen.
     db.flush().expect("flush");
     drop(db);
-    let mut db =
+    let db =
         Esdb::open(CollectionSchema::transaction_logs(), EsdbConfig::new(&dir)).expect("reopen");
     let rows = db
         .query("SELECT * FROM transaction_logs WHERE tenant_id = 10086")

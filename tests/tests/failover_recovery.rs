@@ -49,7 +49,7 @@ fn corpus(tenants: u64, deleted: &[u64]) -> Vec<String> {
 /// Row-for-row answers (record-id sequences, order preserved) for every
 /// corpus query against one engine's searchable state.
 fn answers(engine: &ShardEngine, corpus: &[String]) -> Vec<Vec<u64>> {
-    let segs: Vec<&Segment> = engine.segments().iter().collect();
+    let segs: Vec<&Segment> = engine.segments().iter().map(|s| s.as_ref()).collect();
     corpus
         .iter()
         .map(|sql| {
