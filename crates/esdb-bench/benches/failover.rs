@@ -217,8 +217,11 @@ fn run_scenario(scale: &Scale) -> ScenarioResult {
         }
     }
 
+    let host_cores = esdb_bench::host_cores();
+    let degraded = esdb_bench::degraded_single_core(scale.mode == "fast");
     let json = format!(
         "{{\n  \"bench\": \"failover\",\n  \"mode\": \"{}\",\n  \"seed\": {SEED},\n  \
+         \"host_cores\": {host_cores},\n  \"degraded_single_core\": {degraded},\n  \
          \"theta\": {THETA},\n  \"nodes\": {},\n  \"shards\": {},\n  \"rate_tps\": {},\n  \
          \"killed_node\": {victim},\n  \"crash_ms\": {crash_ms},\n  \
          \"restart_ms\": {restart_ms},\n  \"generated\": {generated},\n  \

@@ -157,6 +157,8 @@ fn main() {
     let fast = std::env::args().any(|a| a == "--fast" || a == "fast")
         || std::env::var("QUERY_CACHE_BENCH_FAST").is_ok_and(|v| v == "1");
     let scale = if fast { FAST } else { FULL };
+    let host_cores = esdb_bench::host_cores();
+    let degraded = esdb_bench::degraded_single_core(fast);
     let seq = query_sequence(&scale);
 
     let mut on = build(&scale, true);
@@ -257,7 +259,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"query_cache\",\n  \"mode\": \"{}\",\n  \"theta\": {THETA},\n  \
          \"shards\": {},\n  \"tenants\": {},\n  \"rows\": {},\n  \"queries_per_pass\": {},\n  \
-         \"samples\": {},\n  \"cold_pass_ns\": {cold_ns},\n  \
+         \"samples\": {},\n  \"host_cores\": {host_cores},\n  \
+         \"degraded_single_core\": {degraded},\n  \"cold_pass_ns\": {cold_ns},\n  \
          \"warm_median_ns\": {warm_median},\n  \"uncached_median_ns\": {uncached_median},\n  \
          \"warm_speedup_vs_uncached\": {warm_speedup:.4},\n  \
          \"cold_vs_warm_speedup\": {cold_vs_warm:.4},\n  \

@@ -54,7 +54,10 @@ fn bench_plans(c: &mut Criterion) {
                     &q,
                     &schema,
                     &[&seg],
-                    QueryOptions { use_optimizer: o },
+                    QueryOptions {
+                        use_optimizer: o,
+                        ..QueryOptions::default()
+                    },
                 ))
             })
         });

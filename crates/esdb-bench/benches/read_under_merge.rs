@@ -191,7 +191,8 @@ fn main() {
     let scale = if fast { FAST } else { FULL };
     let seq = query_sequence(&scale);
 
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = esdb_bench::host_cores();
+    let degraded = esdb_bench::degraded_single_core(fast);
 
     let mut db = build(&scale);
     // Sequential per-query execution: one latency sample per query with
@@ -298,7 +299,8 @@ fn main() {
          \"uncontended_p50_ns\": {p50_u},\n  \"uncontended_p99_ns\": {p99_u},\n  \
          \"contended_p50_ns\": {p50_c},\n  \"contended_p99_ns\": {p99_c},\n  \
          \"contended_p99_ratio\": {p99_ratio:.4},\n  \"p99_budget\": {P99_BUDGET},\n  \
-         \"available_parallelism\": {cores},\n  \"p99_gate_enforced\": {gate_enforced},\n  \
+         \"available_parallelism\": {cores},\n  \"host_cores\": {cores},\n  \
+         \"degraded_single_core\": {degraded},\n  \"p99_gate_enforced\": {gate_enforced},\n  \
          \"refreshes_during_contended\": {refreshes},\n  \
          \"forced_merges_during_contended\": {merges},\n  \
          \"contended_results_identical_to_quiescent\": {determinism_ok}\n}}\n",

@@ -203,6 +203,8 @@ fn main() {
 }
 
 fn write_json(results: &[Measurement], cores: usize, skipped: &[usize], determinism_ok: bool) {
+    // A parallelism grid measured on one core is inherently degraded.
+    let degraded = esdb_bench::degraded_single_core(false);
     let mut configs = String::new();
     for (i, m) in results.iter().enumerate() {
         let base = results
@@ -233,6 +235,7 @@ fn write_json(results: &[Measurement], cores: usize, skipped: &[usize], determin
     let json = format!(
         "{{\n  \"bench\": \"scatter_gather\",\n  \"hot_tenant\": {HOT_TENANT},\n  \
          \"rows_per_shard\": {ROWS_PER_SHARD},\n  \"host_cores\": {cores},\n  \
+         \"degraded_single_core\": {degraded},\n  \
          \"skipped_degrees_above_host_cores\": [{skipped_json}],\n  \
          \"parallel_results_identical_to_sequential\": {determinism_ok},\n  \
          \"configs\": [\n{configs}\n  ]\n}}\n"

@@ -352,10 +352,13 @@ fn main() {
         eprintln!("PROMETHEUS LINT: {v}");
     }
 
+    let host_cores = esdb_bench::host_cores();
+    let degraded = esdb_bench::degraded_single_core(scale.mode == "fast");
     let json_out = format!(
         "{{\n  \"bench\": \"telemetry_overhead\",\n  \"mode\": \"{}\",\n  \"theta\": {THETA},\n  \
          \"shards\": {},\n  \"tenants\": {},\n  \"preload_rows\": {},\n  \
          \"rows_per_pass\": {},\n  \"queries_per_pass\": {},\n  \"samples\": {},\n  \
+         \"host_cores\": {host_cores},\n  \"degraded_single_core\": {degraded},\n  \
          \"write_on_median_ns\": {write_on_med},\n  \"write_off_median_ns\": {write_off_med},\n  \
          \"write_overhead_pct\": {write_overhead:.4},\n  \
          \"query_on_median_ns\": {query_on_med},\n  \"query_off_median_ns\": {query_off_med},\n  \

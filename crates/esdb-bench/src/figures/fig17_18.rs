@@ -41,9 +41,11 @@ fn run_queries_ab(
     generator.with_attr_filter = with_attr;
     let opt = QueryOptions {
         use_optimizer: true,
+        ..QueryOptions::default()
     };
     let naive = QueryOptions {
         use_optimizer: false,
+        ..QueryOptions::default()
     };
     let mut runs = (
         LatencyRun {
@@ -212,6 +214,7 @@ pub fn run(quick: bool) {
         true,
         QueryOptions {
             use_optimizer: true,
+            ..QueryOptions::default()
         },
         2,
     );
@@ -228,6 +231,7 @@ pub fn run(quick: bool) {
         true,
         QueryOptions {
             use_optimizer: true,
+            ..QueryOptions::default()
         },
         2,
     );

@@ -13,3 +13,24 @@ pub mod output;
 
 pub use harness::{run_write_sim, SimParams};
 pub use output::Table;
+
+/// Host CPU count every `BENCH_*.json` reports as `host_cores`, so a
+/// result can never masquerade as a multi-core measurement.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Whether a full-mode run is degraded by a single-core host. Benches
+/// mark their JSON with `"degraded_single_core": true` and warn on
+/// stderr; parallelism-dependent gates must downgrade to report-only.
+/// Fast (CI smoke) runs are never marked — they make no perf claims.
+pub fn degraded_single_core(fast: bool) -> bool {
+    let degraded = !fast && host_cores() < 2;
+    if degraded {
+        eprintln!(
+            "WARNING: full-mode benchmark on a single-core host — concurrent \
+             and parallel measurements are serialized; marking degraded_single_core"
+        );
+    }
+    degraded
+}

@@ -13,8 +13,10 @@ use esdb_query::aggregate::merge_results;
 use esdb_query::naive::naive_plan;
 use esdb_query::Expr;
 use esdb_query::{
-    execute_prepared_on_snapshot, optimize, parse_sql, query_fingerprint, translate,
-    FilterCacheContext, PreparedPlan, QueryOptions, QueryRows, SegmentFilterCache,
+    aggregate_prepared_blocks_on_snapshot, aggregate_pushdown_eligible, aggregate_rows,
+    block_eligible, execute_prepared_blocks_on_snapshot, execute_prepared_on_snapshot, optimize,
+    parse_sql, query_fingerprint, translate, AggPartials, AggResult, FilterCacheContext,
+    PreparedPlan, Query, QueryOptions, QueryRows, SegmentFilterCache,
 };
 use esdb_routing::{
     DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList, ShardSpan,
@@ -226,6 +228,12 @@ pub struct EsdbStats {
     pub write_errors: u64,
     /// Queries executed.
     pub queries: u64,
+    /// Queries (row and aggregate) served by the block-at-a-time
+    /// executor.
+    pub block_queries: u64,
+    /// Queries served by the scalar executor (block execution disabled,
+    /// plan not block-eligible, or aggregate not pushdown-eligible).
+    pub scalar_queries: u64,
     /// Per-shard cumulative busy time (microseconds a query, write, or
     /// maintenance operation held the shard), indexed by shard.
     pub shard_busy_micros: Vec<u64>,
@@ -315,18 +323,45 @@ fn auto_filter_budget(shard_bytes: usize) -> u64 {
 #[derive(Clone)]
 struct CoreTimers {
     query_total: Arc<Histogram>,
+    agg_total: Arc<Histogram>,
     write_total: Arc<Histogram>,
     batch_total: Arc<Histogram>,
     write_errors: Arc<Counter>,
+    block_queries: Arc<Counter>,
+    scalar_queries: Arc<Counter>,
+    blocks_scanned: Arc<Counter>,
+    blocks_skipped: Arc<Counter>,
+    blocks_pruned: Arc<Counter>,
 }
 
 impl CoreTimers {
     fn new(registry: &MetricsRegistry) -> Self {
         CoreTimers {
             query_total: registry.histogram("esdb_query_total_ns", Labels::none()),
+            agg_total: registry.histogram("esdb_aggregate_total_ns", Labels::none()),
             write_total: registry.histogram("esdb_write_total_ns", Labels::none()),
             batch_total: registry.histogram("esdb_write_batch_ns", Labels::none()),
             write_errors: registry.counter("esdb_write_errors_total", Labels::none()),
+            block_queries: registry.counter("esdb_block_exec_queries_total", Labels::none()),
+            scalar_queries: registry.counter("esdb_scalar_exec_queries_total", Labels::none()),
+            blocks_scanned: registry
+                .counter("esdb_block_exec_blocks_scanned_total", Labels::none()),
+            blocks_skipped: registry
+                .counter("esdb_block_exec_blocks_skipped_total", Labels::none()),
+            blocks_pruned: registry.counter("esdb_block_exec_blocks_pruned_total", Labels::none()),
+        }
+    }
+
+    /// Charges one query's executor choice (and, on the block path, its
+    /// posting-block counters) to the registry.
+    fn record_exec_path(&self, used_blocks: bool, blocks: &esdb_index::BlockStats) {
+        if used_blocks {
+            self.block_queries.inc();
+            self.blocks_scanned.add(blocks.scanned);
+            self.blocks_skipped.add(blocks.skipped);
+            self.blocks_pruned.add(blocks.pruned);
+        } else {
+            self.scalar_queries.inc();
         }
     }
 }
@@ -356,6 +391,8 @@ pub struct Esdb {
     writes_total: u64,
     write_errors_total: u64,
     queries_total: Arc<AtomicU64>,
+    block_queries_total: Arc<AtomicU64>,
+    scalar_queries_total: Arc<AtomicU64>,
     telemetry: Arc<Telemetry>,
     timers: Option<CoreTimers>,
     /// Baseline for [`Esdb::take_stats`] delta snapshots.
@@ -432,6 +469,8 @@ impl Esdb {
             writes_total: 0,
             write_errors_total: 0,
             queries_total: Arc::new(AtomicU64::new(0)),
+            block_queries_total: Arc::new(AtomicU64::new(0)),
+            scalar_queries_total: Arc::new(AtomicU64::new(0)),
             telemetry,
             timers,
             stats_base: EsdbStats::default(),
@@ -733,9 +772,28 @@ impl Esdb {
     }
 
     /// Executes SQL with explicit options (the Fig. 17 harness turns the
-    /// optimizer off through this).
+    /// optimizer off through this; benches pin the executor by toggling
+    /// `block_execution`).
     pub fn query_opts(&self, sql: &str, opts: QueryOptions) -> Result<QueryRows> {
         run_query(&self.read_path(), sql, opts)
+    }
+
+    /// Executes an aggregate SQL query (`SELECT COUNT(*)/SUM/AVG/MIN/MAX
+    /// ... [GROUP BY col]`). Pushdown-eligible plans compute mergeable
+    /// per-shard partials straight from columnar doc values — no stored
+    /// payload is ever materialized ([`AggResult::payload_reads`] stays
+    /// 0); other plans fall back to materializing matching rows and
+    /// aggregating them at the coordinator with the scalar reference
+    /// semantics. Both paths produce identical rows.
+    pub fn aggregate(&self, sql: &str) -> Result<AggResult> {
+        self.aggregate_opts(sql, QueryOptions::default())
+    }
+
+    /// Executes an aggregate query with explicit options
+    /// (`block_execution: false` forces the scalar fallback — the oracle
+    /// the block path is gated against).
+    pub fn aggregate_opts(&self, sql: &str, opts: QueryOptions) -> Result<AggResult> {
+        run_agg_query(&self.read_path(), sql, opts)
     }
 
     /// Point lookup by routing triple against the routed shard's pinned
@@ -782,6 +840,8 @@ impl Esdb {
             router: Arc::clone(&self.router),
             clock: self.clock.clone(),
             queries_total: Arc::clone(&self.queries_total),
+            block_queries_total: Arc::clone(&self.block_queries_total),
+            scalar_queries_total: Arc::clone(&self.scalar_queries_total),
             telemetry: Arc::clone(&self.telemetry),
             timers: self.timers.clone(),
         }
@@ -805,6 +865,8 @@ impl Esdb {
             router: &self.router,
             clock: &self.clock,
             queries_total: &self.queries_total,
+            block_queries_total: &self.block_queries_total,
+            scalar_queries_total: &self.scalar_queries_total,
             telemetry: &self.telemetry,
             timers: self.timers.as_ref(),
         }
@@ -827,6 +889,8 @@ impl Esdb {
             writes: self.writes_total,
             write_errors: self.write_errors_total,
             queries: self.queries_total.load(Ordering::Relaxed),
+            block_queries: self.block_queries_total.load(Ordering::Relaxed),
+            scalar_queries: self.scalar_queries_total.load(Ordering::Relaxed),
             parallelism: self.executor.parallelism(),
             filter_cache: self.filter_cache.stats(),
             request_cache: self.request_cache.stats(),
@@ -857,6 +921,8 @@ impl Esdb {
         out.writes = current.writes.saturating_sub(base.writes);
         out.write_errors = current.write_errors.saturating_sub(base.write_errors);
         out.queries = current.queries.saturating_sub(base.queries);
+        out.block_queries = current.block_queries.saturating_sub(base.block_queries);
+        out.scalar_queries = current.scalar_queries.saturating_sub(base.scalar_queries);
         for (i, v) in out.shard_busy_micros.iter_mut().enumerate() {
             *v = v.saturating_sub(base.shard_busy_micros.get(i).copied().unwrap_or(0));
         }
@@ -910,6 +976,14 @@ impl Esdb {
                     .gauge("esdb_shard_busy_micros", Labels::shard(i as u32))
                     .set(slot.busy_micros.load(Ordering::Relaxed) as i64);
             }
+            // Share of queries the block-at-a-time executor served, as a
+            // percentage (gauges are integral).
+            let block = self.block_queries_total.load(Ordering::Relaxed);
+            let scalar = self.scalar_queries_total.load(Ordering::Relaxed);
+            let total = block + scalar;
+            registry
+                .gauge("esdb_block_exec_hit_ratio_percent", Labels::none())
+                .set((block * 100).checked_div(total).unwrap_or(0) as i64);
         }
         self.telemetry.snapshot()
     }
@@ -936,8 +1010,25 @@ struct ReadPath<'a> {
     router: &'a Router,
     clock: &'a SharedClock,
     queries_total: &'a AtomicU64,
+    block_queries_total: &'a AtomicU64,
+    scalar_queries_total: &'a AtomicU64,
     telemetry: &'a Telemetry,
     timers: Option<&'a CoreTimers>,
+}
+
+impl ReadPath<'_> {
+    /// Counts one query against the executor that served it, in both the
+    /// instance stats and (when telemetry is on) the metrics registry.
+    fn count_exec_path(&self, used_blocks: bool, blocks: &esdb_index::BlockStats) {
+        if used_blocks {
+            self.block_queries_total.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.scalar_queries_total.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(t) = self.timers {
+            t.record_exec_path(used_blocks, blocks);
+        }
+    }
 }
 
 /// The scatter-gather query pipeline (parse → translate → route → plan →
@@ -948,6 +1039,11 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
     let query = translate(parse_sql(sql)?);
     if query.table != rp.schema.name {
         return Err(EsdbError::UnknownCollection(query.table));
+    }
+    if query.is_aggregate() {
+        return Err(EsdbError::Plan(
+            "aggregate select lists run through aggregate(), not query()".into(),
+        ));
     }
     rp.queries_total.fetch_add(1, Ordering::Relaxed);
     let t0 = rp.timers.map(|_| Instant::now());
@@ -977,6 +1073,12 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
     };
     let prepared = PreparedPlan::new(&plan);
     let fp = query_fingerprint(&plan, &query);
+    // Executor choice is made once per query, from the plan shape alone:
+    // the block path runs whenever it is enabled and every residual
+    // predicate is a flat comparison (no nested booleans). Both
+    // executors are row-identical by construction — the scalar one stays
+    // the always-available equivalence oracle.
+    let use_blocks = opts.block_execution && block_eligible(&plan);
     // Scatter: each shard in the span pins its published snapshot and
     // executes independently. The executor returns results in span
     // order, so the gather below is deterministic for any parallelism
@@ -1014,14 +1116,29 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
                     cache,
                     shard: shard.0,
                 });
-                let rows =
-                    execute_prepared_on_snapshot(query, prepared, snap.as_ref(), ctx.as_ref());
+                let rows = if use_blocks {
+                    execute_prepared_blocks_on_snapshot(
+                        query,
+                        prepared,
+                        snap.as_ref(),
+                        ctx.as_ref(),
+                    )
+                } else {
+                    execute_prepared_on_snapshot(query, prepared, snap.as_ref(), ctx.as_ref())
+                };
                 if let Some(rc) = rp.request_cache {
                     rc.insert(key, Arc::new(rows.clone()), 1);
                 }
                 rows
             }
         };
+        // Block set operations report their own wall time as a stage, so
+        // slow-query traces show where skip-pruning spent (or saved) it.
+        if let Some(t) = trace_ref {
+            if use_blocks {
+                t.record("block_prune", 0, Some(shard.0), rows.block_prune_ns);
+            }
+        }
         // Every shard of the fan-out reports an execute sample — cache
         // hits and empty result sets included — so a gather over k
         // shards always sees exactly k samples and per-shard timing
@@ -1039,6 +1156,7 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
         let _span = trace_ref.map(|t| t.span("gather", 0));
         merge_results(shard_results, query.order_by.as_ref(), query.limit)
     };
+    rp.count_exec_path(use_blocks, &merged.blocks);
     let total_ns = t0.map(elapsed_ns);
     if let (Some(t), Some(ns)) = (rp.timers, total_ns) {
         t.query_total.record(ns);
@@ -1065,6 +1183,153 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
     Ok(merged)
 }
 
+/// The scatter-gather aggregate pipeline. Eligible plans push the
+/// aggregation below row materialization: every shard computes mergeable
+/// [`AggPartials`] straight from columnar doc values against its pinned
+/// snapshot, and the coordinator merges them in span order (keeping
+/// MIN/MAX tie-breaking deterministic) before finishing. Ineligible
+/// plans — block execution off, nested-boolean residuals, or an
+/// aggregate over a column without doc values — fall back to
+/// materializing matching rows per shard and aggregating once at the
+/// coordinator with the scalar reference semantics. Both paths produce
+/// identical rows; only `payload_reads` differs (0 under pushdown).
+fn run_agg_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<AggResult> {
+    let query = translate(parse_sql(sql)?);
+    if query.table != rp.schema.name {
+        return Err(EsdbError::UnknownCollection(query.table));
+    }
+    if !query.is_aggregate() {
+        return Err(EsdbError::Plan(
+            "aggregate() requires an aggregate select list (COUNT/SUM/AVG/MIN/MAX)".into(),
+        ));
+    }
+    rp.queries_total.fetch_add(1, Ordering::Relaxed);
+    let t0 = rp.timers.map(|_| Instant::now());
+    let trace = rp.telemetry.should_trace().then(QueryTrace::new);
+    record_attr_usage(&query.filter, rp.shards);
+    let span = {
+        let _span = trace.as_ref().map(|t| t.span("route", 0));
+        match extract_tenant(&query.filter) {
+            Some(tenant) => rp.router.span(tenant, rp.clock.now()),
+            None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
+        }
+    };
+    let plan = {
+        let _span = trace.as_ref().map(|t| t.span("plan", 0));
+        if opts.use_optimizer {
+            optimize(&query.filter, rp.schema)
+        } else {
+            naive_plan(&query.filter)
+        }
+    };
+    let prepared = PreparedPlan::new(&plan);
+    let fp = query_fingerprint(&plan, &query);
+    let pushdown = opts.block_execution
+        && block_eligible(&plan)
+        && aggregate_pushdown_eligible(&query, rp.schema);
+    let span_shards: Vec<ShardId> = span.iter().collect();
+    let prepared = &prepared;
+    let trace_ref = trace.as_ref();
+    let result = if pushdown {
+        let query_ref = &query;
+        let partials: Vec<AggPartials> = rp.executor.map(&span_shards, |_, shard| {
+            let slot = &rp.shards[shard.index()];
+            let t_busy = Instant::now();
+            let snap = slot.snapshots.pin();
+            let t_exec = trace_ref.map(|_| Instant::now());
+            let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
+                cache,
+                shard: shard.0,
+            });
+            let part = aggregate_prepared_blocks_on_snapshot(
+                query_ref,
+                prepared,
+                snap.as_ref(),
+                ctx.as_ref(),
+            );
+            if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
+                t.record("block_prune", 0, Some(shard.0), part.block_prune_ns);
+                t.record("execute", 0, Some(shard.0), elapsed_ns(t0));
+            }
+            slot.busy_micros
+                .fetch_add(t_busy.elapsed().as_micros() as u64, Ordering::Relaxed);
+            part
+        });
+        let _span = trace_ref.map(|t| t.span("gather", 0));
+        let mut merged = AggPartials::default();
+        for p in partials {
+            merged.merge(p);
+        }
+        merged.finish(&query.aggregates, query.group_by.is_some())
+    } else {
+        // The scalar fallback strips the aggregate clauses off the query
+        // and materializes every matching row — ORDER BY/LIMIT don't
+        // apply below an aggregate, so shards return their full match
+        // sets and one reference aggregation runs over the gather.
+        let row_query = Query {
+            aggregates: Vec::new(),
+            group_by: None,
+            projection: Vec::new(),
+            order_by: None,
+            limit: None,
+            ..query.clone()
+        };
+        let row_query = &row_query;
+        let shard_rows: Vec<QueryRows> = rp.executor.map(&span_shards, |_, shard| {
+            let slot = &rp.shards[shard.index()];
+            let t_busy = Instant::now();
+            let snap = slot.snapshots.pin();
+            let t_exec = trace_ref.map(|_| Instant::now());
+            let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
+                cache,
+                shard: shard.0,
+            });
+            let rows =
+                execute_prepared_on_snapshot(row_query, prepared, snap.as_ref(), ctx.as_ref());
+            if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
+                t.record("execute", 0, Some(shard.0), elapsed_ns(t0));
+            }
+            slot.busy_micros
+                .fetch_add(t_busy.elapsed().as_micros() as u64, Ordering::Relaxed);
+            rows
+        });
+        let _span = trace_ref.map(|t| t.span("gather", 0));
+        let mut docs = Vec::new();
+        let mut out = AggResult::default();
+        for rows in shard_rows {
+            out.postings_scanned += rows.postings_scanned;
+            out.docs_scanned += rows.docs_scanned;
+            docs.extend(rows.docs);
+        }
+        out.payload_reads = docs.len() as u64;
+        out.rows = aggregate_rows(&docs, &query.aggregates, query.group_by.as_deref());
+        out
+    };
+    rp.count_exec_path(pushdown, &result.blocks);
+    let total_ns = t0.map(elapsed_ns);
+    if let (Some(t), Some(ns)) = (rp.timers, total_ns) {
+        t.agg_total.record(ns);
+    }
+    let samples = trace.map(QueryTrace::into_samples);
+    if let Some(samples) = &samples {
+        rp.telemetry.record_stages("esdb_query_stage_ns", samples);
+    }
+    if let Some(ns) = total_ns {
+        if ns >= rp.telemetry.slow_threshold_ns() {
+            rp.telemetry.log_slow(SlowQueryEntry {
+                sql: sql.to_string(),
+                plan: plan.to_string(),
+                fingerprint: fp,
+                tenant: extract_tenant(&query.filter).map(|t| t.0),
+                fanout: span_shards.len() as u32,
+                total_ns: ns,
+                stages: samples.unwrap_or_default(),
+            });
+        }
+    }
+    Ok(result)
+}
+
 /// A clone-able, thread-safe read handle over a live [`Esdb`] instance.
 ///
 /// Readers execute the exact same pipeline as [`Esdb::query`] — pinned
@@ -1086,6 +1351,8 @@ pub struct EsdbReader {
     router: Arc<Router>,
     clock: SharedClock,
     queries_total: Arc<AtomicU64>,
+    block_queries_total: Arc<AtomicU64>,
+    scalar_queries_total: Arc<AtomicU64>,
     telemetry: Arc<Telemetry>,
     timers: Option<CoreTimers>,
 }
@@ -1100,6 +1367,17 @@ impl EsdbReader {
     /// Executes SQL with explicit options.
     pub fn query_opts(&self, sql: &str, opts: QueryOptions) -> Result<QueryRows> {
         run_query(&self.read_path(), sql, opts)
+    }
+
+    /// Executes an aggregate SQL query (identical semantics to
+    /// [`Esdb::aggregate`]).
+    pub fn aggregate(&self, sql: &str) -> Result<AggResult> {
+        self.aggregate_opts(sql, QueryOptions::default())
+    }
+
+    /// Executes an aggregate query with explicit options.
+    pub fn aggregate_opts(&self, sql: &str, opts: QueryOptions) -> Result<AggResult> {
+        run_agg_query(&self.read_path(), sql, opts)
     }
 
     /// Point lookup by routing triple (see [`Esdb::get`]).
@@ -1139,6 +1417,8 @@ impl EsdbReader {
             router: &self.router,
             clock: &self.clock,
             queries_total: &self.queries_total,
+            block_queries_total: &self.block_queries_total,
+            scalar_queries_total: &self.scalar_queries_total,
             telemetry: &self.telemetry,
             timers: self.timers.as_ref(),
         }
@@ -1813,5 +2093,199 @@ mod tests {
             Expr::Eq("tenant_id".into(), FieldValue::Int(8)),
         ]);
         assert_eq!(extract_tenant(&mixed), None, "different tenants → fan out");
+    }
+
+    /// Documents with enough typed fields to exercise every aggregate.
+    fn rich_doc(tenant: u64, record: u64, at: TimestampMs) -> Document {
+        Document::builder(TenantId(tenant), RecordId(record), at)
+            .field("status", (record % 3) as i64)
+            .field("group", (record % 5) as i64)
+            .field("amount", esdb_doc::FieldValue::Float(record as f64 * 1.5))
+            .field(
+                "province",
+                if record % 2 == 0 {
+                    "zhejiang"
+                } else {
+                    "jiangsu"
+                },
+            )
+            .field("auction_title", format!("item number {record}"))
+            .build()
+    }
+
+    #[test]
+    fn block_and_scalar_query_paths_agree_and_are_counted() {
+        let (mut db, _) = open("block-vs-scalar", |c| c.shards(4));
+        for r in 0..300u64 {
+            db.insert(rich_doc(r % 6, r, 1_000 + r)).unwrap();
+        }
+        db.refresh();
+        let sqls = [
+            "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 1",
+            "SELECT * FROM transaction_logs WHERE status = 2 AND group = 4 \
+             ORDER BY created_time DESC LIMIT 20",
+            "SELECT * FROM transaction_logs WHERE amount >= 100.5 AND province = 'zhejiang'",
+            "SELECT * FROM transaction_logs WHERE MATCH(auction_title, 'number') LIMIT 50",
+        ];
+        for sql in sqls {
+            let block = db.query(sql).unwrap();
+            let scalar = db
+                .query_opts(
+                    sql,
+                    QueryOptions {
+                        block_execution: false,
+                        ..QueryOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(block.docs, scalar.docs, "row identity for {sql}");
+        }
+        let s = db.stats();
+        assert_eq!(s.block_queries, sqls.len() as u64, "{s:?}");
+        assert_eq!(s.scalar_queries, sqls.len() as u64, "{s:?}");
+        assert_eq!(s.queries, 2 * sqls.len() as u64);
+    }
+
+    #[test]
+    fn aggregates_match_scalar_oracle_across_shards() {
+        let (mut db, _) = open("agg-oracle", |c| c.shards(8));
+        for r in 0..500u64 {
+            db.insert(rich_doc(r % 7, r, 1_000 + r)).unwrap();
+        }
+        // Tombstones so liveness filtering is part of the equivalence.
+        for r in (0..500u64).step_by(9) {
+            db.delete(TenantId(r % 7), RecordId(r), 1_000 + r).unwrap();
+        }
+        db.refresh();
+        let sqls = [
+            "SELECT COUNT(*) FROM transaction_logs WHERE status = 1",
+            "SELECT COUNT(*), SUM(amount), AVG(amount) FROM transaction_logs \
+             WHERE tenant_id = 3",
+            "SELECT MIN(created_time), MAX(created_time) FROM transaction_logs \
+             WHERE province = 'jiangsu'",
+            "SELECT COUNT(*), SUM(amount) FROM transaction_logs \
+             WHERE status = 0 GROUP BY province",
+            "SELECT COUNT(*), MIN(amount) FROM transaction_logs GROUP BY group",
+            "SELECT COUNT(*) FROM transaction_logs WHERE tenant_id = 9999",
+        ];
+        for sql in sqls {
+            let pushed = db.aggregate(sql).unwrap();
+            let oracle = db
+                .aggregate_opts(
+                    sql,
+                    QueryOptions {
+                        block_execution: false,
+                        ..QueryOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(pushed.rows, oracle.rows, "aggregate identity for {sql}");
+            assert_eq!(
+                pushed.payload_reads, 0,
+                "pushdown must not touch stored payloads for {sql}"
+            );
+        }
+        let s = db.stats();
+        assert_eq!(s.block_queries, sqls.len() as u64);
+        assert_eq!(s.scalar_queries, sqls.len() as u64);
+    }
+
+    #[test]
+    fn aggregate_api_rejects_mismatched_select_lists() {
+        let (mut db, _) = open("agg-guards", |c| c.shards(2));
+        db.insert(rich_doc(1, 1, 1_000)).unwrap();
+        db.refresh();
+        assert!(matches!(
+            db.aggregate("SELECT * FROM transaction_logs WHERE status = 1"),
+            Err(EsdbError::Plan(_))
+        ));
+        assert!(matches!(
+            db.query("SELECT COUNT(*) FROM transaction_logs WHERE status = 1"),
+            Err(EsdbError::Plan(_))
+        ));
+        // Readers share the same pipeline and guards.
+        let reader = db.reader();
+        assert!(matches!(
+            reader.aggregate("SELECT * FROM transaction_logs"),
+            Err(EsdbError::Plan(_))
+        ));
+        let agg = reader
+            .aggregate("SELECT COUNT(*) FROM transaction_logs")
+            .unwrap();
+        assert_eq!(agg.rows[0].values[0], esdb_doc::FieldValue::Int(1));
+    }
+
+    #[test]
+    fn block_exec_telemetry_counters_ratio_and_prune_stage() {
+        let (mut db, _) = open("block-telemetry", |c| {
+            c.shards(4).telemetry_config(TelemetryConfig {
+                trace_sample_every: 1,
+                slow_query_threshold_us: 0,
+                ..TelemetryConfig::default()
+            })
+        });
+        for r in 0..200u64 {
+            db.insert(rich_doc(r % 4, r, 1_000 + r)).unwrap();
+        }
+        db.refresh();
+        // An OR of two index lookups plans as a Union — a block set
+        // operation, so the posting-block counters advance.
+        db.query("SELECT * FROM transaction_logs WHERE status = 1 OR group = 2")
+            .unwrap();
+        db.aggregate("SELECT COUNT(*), SUM(amount) FROM transaction_logs WHERE status = 0")
+            .unwrap();
+        let snap = db.telemetry_snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, v)| *v)
+        };
+        assert_eq!(counter("esdb_block_exec_queries_total"), Some(2));
+        assert!(
+            counter("esdb_block_exec_blocks_scanned_total").unwrap_or(0)
+                + counter("esdb_block_exec_blocks_skipped_total").unwrap_or(0)
+                + counter("esdb_block_exec_blocks_pruned_total").unwrap_or(0)
+                > 0,
+            "block counters must account for posting blocks"
+        );
+        let ratio = snap
+            .gauges
+            .iter()
+            .find(|(n, _, _)| n == "esdb_block_exec_hit_ratio_percent")
+            .expect("hit ratio gauge")
+            .2;
+        assert_eq!(ratio, 100, "both queries took the block path");
+        // The sampled trace carried the block_prune stage end to end.
+        let slow = db.slow_queries();
+        assert!(slow
+            .iter()
+            .any(|e| e.stages.iter().any(|s| s.stage == "block_prune")));
+        // The aggregate total landed in its own histogram.
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(n, _, _)| n == "esdb_aggregate_total_ns"));
+        // Exposition stays lint-clean with the new series.
+        let text = snap.to_prometheus();
+        let errors = esdb_telemetry::lint_prometheus(&text);
+        assert!(errors.is_empty(), "prometheus lint errors: {errors:?}");
+        // Forcing the scalar path moves the ratio off 100%.
+        db.query_opts(
+            "SELECT * FROM transaction_logs WHERE status = 1",
+            QueryOptions {
+                block_execution: false,
+                ..QueryOptions::default()
+            },
+        )
+        .unwrap();
+        let snap = db.telemetry_snapshot();
+        let ratio = snap
+            .gauges
+            .iter()
+            .find(|(n, _, _)| n == "esdb_block_exec_hit_ratio_percent")
+            .unwrap()
+            .2;
+        assert_eq!(ratio, 66, "2 of 3 queries on the block path");
     }
 }

@@ -221,6 +221,31 @@ pub fn build_segment(
         }
     }
 
+    // Typed columns for the routing virtuals: aggregation pushdown and
+    // block-wise sort-key extraction read tenant_id/record_id/created_time
+    // without touching stored payloads. Inserted after the field loop so
+    // they win over any same-named declared column.
+    doc_values.insert(
+        "tenant_id".to_string(),
+        ColumnValues::I64(
+            docs.iter()
+                .map(|d| Some(d.tenant_id.raw() as i64))
+                .collect(),
+        ),
+    );
+    doc_values.insert(
+        "record_id".to_string(),
+        ColumnValues::I64(
+            docs.iter()
+                .map(|d| Some(d.record_id.raw() as i64))
+                .collect(),
+        ),
+    );
+    doc_values.insert(
+        "created_time".to_string(),
+        ColumnValues::U64(docs.iter().map(|d| Some(d.created_at)).collect()),
+    );
+
     for lists in numeric.values_mut() {
         lists.sort_unstable();
     }

@@ -268,6 +268,13 @@ impl Segment {
         self.live.bits.get(id as usize).copied().unwrap_or(false)
     }
 
+    /// Whether every doc in the segment is live (no tombstones): the
+    /// block read path hands out stored posting blocks zero-copy when
+    /// this holds.
+    pub fn fully_live(&self) -> bool {
+        self.live.count == self.core.docs.len()
+    }
+
     /// Doc id holding `record_id`, if present and live.
     pub fn find_record(&self, record_id: u64) -> Option<DocId> {
         self.core
@@ -462,7 +469,15 @@ impl Segment {
     }
 
     /// Doc-value read for the sequential-scan path and aggregation.
+    ///
+    /// The routing virtuals (`tenant_id`/`record_id`/`created_time`) are
+    /// served from the typed columns the builder emits; the stored-payload
+    /// read only remains as a fallback for segments assembled outside the
+    /// builder.
     pub fn doc_value(&self, field: &str, doc: DocId) -> Option<FieldValue> {
+        if let Some(c) = self.core.doc_values.get(field) {
+            return c.get(doc);
+        }
         match field {
             "tenant_id" => self
                 .doc(doc)
@@ -471,8 +486,15 @@ impl Segment {
                 .doc(doc)
                 .map(|d| FieldValue::Int(d.record_id.raw() as i64)),
             "created_time" => self.doc(doc).map(|d| FieldValue::Timestamp(d.created_at)),
-            _ => self.core.doc_values.get(field).and_then(|c| c.get(doc)),
+            _ => None,
         }
+    }
+
+    /// Direct access to a field's columnar doc values (including the
+    /// routing virtuals): the typed fast path for block-wise scan filters,
+    /// sort-key extraction, and aggregation pushdown.
+    pub fn column(&self, field: &str) -> Option<&ColumnValues> {
+        self.core.doc_values.get(field)
     }
 
     /// Whether a doc-values column exists for `field`.

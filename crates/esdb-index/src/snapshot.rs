@@ -8,7 +8,8 @@
 //! so `esdb-storage` can implement it for its snapshot type and
 //! `esdb-query` can consume it without a dependency cycle.
 
-use crate::segment::Segment;
+use crate::postings::{PostingList, BLOCK_SIZE};
+use crate::segment::{DocId, Segment};
 use std::sync::Arc;
 
 /// An immutable point-in-time view of one shard's sealed segments.
@@ -34,5 +35,32 @@ pub trait SnapshotView {
     /// Total live docs across the view (default: sum over segments).
     fn live_count(&self) -> usize {
         self.segments().iter().map(|s| s.live_count()).sum()
+    }
+
+    /// Visits `list` block-at-a-time with segment `segment`'s
+    /// copy-on-write live-doc bitmap applied. A fully-live segment hands
+    /// out the stored 128-entry blocks zero-copy; a tombstoned segment
+    /// filters each block into a reused scratch buffer, so a list cached
+    /// before a delete is consumed at current liveness without ever
+    /// materializing the re-filtered list. `f` sees each surviving
+    /// (non-empty) block's strictly-increasing doc ids.
+    fn for_each_live_block(&self, segment: usize, list: &PostingList, f: &mut dyn FnMut(&[DocId])) {
+        let Some(seg) = self.segments().get(segment) else {
+            return;
+        };
+        if seg.fully_live() {
+            for b in list.blocks() {
+                f(b.ids());
+            }
+            return;
+        }
+        let mut buf: Vec<DocId> = Vec::with_capacity(BLOCK_SIZE);
+        for b in list.blocks() {
+            buf.clear();
+            buf.extend(b.ids().iter().copied().filter(|&d| seg.is_live(d)));
+            if !buf.is_empty() {
+                f(&buf);
+            }
+        }
     }
 }

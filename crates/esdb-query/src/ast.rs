@@ -156,12 +156,25 @@ pub struct Query {
     pub table: String,
     /// Projected columns; empty = `*`.
     pub projection: Vec<String>,
+    /// Aggregate select list (`COUNT(*)`, `SUM(col)`, ...); empty = a row
+    /// query. When non-empty the query returns aggregate rows instead of
+    /// documents and `projection` is unused.
+    pub aggregates: Vec<crate::aggregate::AggFunc>,
+    /// Optional GROUP BY column (aggregate queries only).
+    pub group_by: Option<String>,
     /// The WHERE filter.
     pub filter: Expr,
     /// Optional ORDER BY.
     pub order_by: Option<OrderBy>,
     /// Optional LIMIT.
     pub limit: Option<usize>,
+}
+
+impl Query {
+    /// `true` when the select list is aggregates rather than rows.
+    pub fn is_aggregate(&self) -> bool {
+        !self.aggregates.is_empty()
+    }
 }
 
 #[cfg(test)]

@@ -10,16 +10,18 @@
 //! serve stale entries because merges mint fresh segment ids and lookups
 //! only ever use ids from the current segment list.
 
+use crate::aggregate::{aggregate_rows, AggPartials, AggResult};
 use crate::ast::{cmp_values, values_eq, Bound, Expr, Query};
 use crate::naive::naive_plan;
 use crate::optimizer::optimize;
 use crate::plan::Plan;
 use esdb_common::cache::ShardedCache;
-use esdb_doc::{CollectionSchema, Document, FieldValue};
+use esdb_doc::{CollectionSchema, Document, FieldType, FieldValue};
 use esdb_index::snapshot::SnapshotView;
-use esdb_index::{Analyzer, PostingList, Segment, SegmentId};
+use esdb_index::{Analyzer, BlockStats, ColumnValues, PostingList, Segment, SegmentId};
 use std::cmp::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Execution options.
 #[derive(Debug, Clone, Copy)]
@@ -27,12 +29,16 @@ pub struct QueryOptions {
     /// `true` = ESDB's rule-based optimizer (§5.1); `false` = the naive
     /// Lucene plan of Fig. 7 (one index search per predicate).
     pub use_optimizer: bool,
+    /// `true` = block-at-a-time execution for block-eligible plans;
+    /// `false` = always the scalar executor (the equivalence oracle).
+    pub block_execution: bool,
 }
 
 impl Default for QueryOptions {
     fn default() -> Self {
         QueryOptions {
             use_optimizer: true,
+            block_execution: true,
         }
     }
 }
@@ -48,6 +54,12 @@ pub struct QueryRows {
     pub postings_scanned: u64,
     /// Documents touched by scan filters.
     pub docs_scanned: u64,
+    /// Posting-block counters from block-at-a-time set operations (zero on
+    /// the scalar path).
+    pub blocks: BlockStats,
+    /// Wall time spent in block set operations (the `block_prune` trace
+    /// stage; zero on the scalar path).
+    pub block_prune_ns: u64,
 }
 
 /// Work counters threaded through execution.
@@ -55,6 +67,8 @@ pub struct QueryRows {
 struct Work {
     postings: u64,
     docs: u64,
+    blocks: BlockStats,
+    prune_ns: u64,
 }
 
 /// Converts a numeric-ish [`FieldValue`] to the i64 domain of the numeric
@@ -688,6 +702,539 @@ fn collect_and_fetch(
         docs,
         postings_scanned: work.postings,
         docs_scanned: work.docs,
+        blocks: work.blocks,
+        block_prune_ns: work.prune_ns,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Block-at-a-time execution (vectorized read path).
+// ---------------------------------------------------------------------------
+
+/// Whether `plan` can run on the block-at-a-time path. The criterion is
+/// that no predicate forces a *stored-payload* fallback inside a scan
+/// residual: leaf predicates (Eq/Ne/In/Range/Match/AttrEq/True) evaluate
+/// through indexes or typed doc-value columns block by block, while a
+/// nested boolean residual (`And`/`Or` under a `ScanFilter` or
+/// `IndexPredicate`) must match full documents and stays on the scalar
+/// executor.
+pub fn block_eligible(plan: &Plan) -> bool {
+    fn leaf_ok(e: &Expr) -> bool {
+        matches!(
+            e,
+            Expr::Eq(..)
+                | Expr::Ne(..)
+                | Expr::In(..)
+                | Expr::Range(..)
+                | Expr::Match(..)
+                | Expr::AttrEq(..)
+                | Expr::True
+        )
+    }
+    match plan {
+        Plan::All | Plan::Empty | Plan::CompositeScan { .. } => true,
+        Plan::IndexPredicate(e) => leaf_ok(e),
+        Plan::ScanFilter { input, predicates } => {
+            block_eligible(input) && predicates.iter().all(leaf_ok)
+        }
+        Plan::Intersect(ps) | Plan::Union(ps) => ps.iter().all(block_eligible),
+    }
+}
+
+/// Whether an aggregate query can be computed straight from columnar doc
+/// values. Every aggregated column and the GROUP BY column must be a
+/// declared doc-values column whose columnar representation is faithful to
+/// the stored value (Long/Double/Timestamp/Keyword; Bool columns are
+/// stored as integers and stay on the scalar path).
+pub fn aggregate_pushdown_eligible(query: &Query, schema: &CollectionSchema) -> bool {
+    let col_ok = |c: &str| {
+        schema
+            .field(c)
+            .is_some_and(|f| f.doc_values && !matches!(f.ty, FieldType::Bool))
+    };
+    query
+        .aggregates
+        .iter()
+        .all(|f| f.column().map_or(true, col_ok))
+        && query.group_by.as_deref().map_or(true, col_ok)
+}
+
+/// Compares a typed i64 column value against a literal with exactly the
+/// [`cmp_values`] semantics of the `FieldValue::Int` the column would
+/// produce.
+fn cmp_col_i64(x: i64, v: &FieldValue) -> Option<Ordering> {
+    match v {
+        FieldValue::Int(y) => Some(x.cmp(y)),
+        FieldValue::Timestamp(y) => Some((x as i128).cmp(&(*y as i128))),
+        FieldValue::Float(y) => (x as f64).partial_cmp(y),
+        _ => None,
+    }
+}
+
+/// [`cmp_values`] semantics for a `FieldValue::Timestamp` column value.
+fn cmp_col_u64(x: u64, v: &FieldValue) -> Option<Ordering> {
+    match v {
+        FieldValue::Int(y) => Some((x as i128).cmp(&(*y as i128))),
+        FieldValue::Timestamp(y) => Some(x.cmp(y)),
+        _ => None,
+    }
+}
+
+/// [`cmp_values`] semantics for a `FieldValue::Float` column value.
+fn cmp_col_f64(x: f64, v: &FieldValue) -> Option<Ordering> {
+    match v {
+        FieldValue::Float(y) => x.partial_cmp(y),
+        FieldValue::Int(y) => x.partial_cmp(&(*y as f64)),
+        _ => None,
+    }
+}
+
+/// [`cmp_values`] semantics for a `FieldValue::Str` column value.
+fn cmp_col_str(x: &str, v: &FieldValue) -> Option<Ordering> {
+    match v {
+        FieldValue::Str(y) => Some(x.cmp(y.as_str())),
+        _ => None,
+    }
+}
+
+/// Evaluates a comparison predicate given a function producing the
+/// ordering of the (present) column value against each literal. Mirrors
+/// the reference semantics of [`Expr::matches`] / `scan_predicate` for a
+/// present value: `Ne` is true whenever the value does not compare equal
+/// (incomparable types included), ranges require both bounds to hold.
+fn pred_ord_matches(pred: &Expr, ord: impl Fn(&FieldValue) -> Option<Ordering>) -> bool {
+    match pred {
+        Expr::Eq(_, v) => ord(v) == Some(Ordering::Equal),
+        Expr::Ne(_, v) => ord(v) != Some(Ordering::Equal),
+        Expr::In(_, vs) => vs.iter().any(|v| ord(v) == Some(Ordering::Equal)),
+        Expr::Range(_, lo, hi) => {
+            let lo_ok = match lo {
+                Bound::Unbounded => true,
+                Bound::Included(v) => ord(v).is_some_and(|o| o != Ordering::Less),
+                Bound::Excluded(v) => ord(v) == Some(Ordering::Greater),
+            };
+            let hi_ok = match hi {
+                Bound::Unbounded => true,
+                Bound::Included(v) => ord(v).is_some_and(|o| o != Ordering::Greater),
+                Bound::Excluded(v) => ord(v) == Some(Ordering::Less),
+            };
+            lo_ok && hi_ok
+        }
+        _ => false,
+    }
+}
+
+/// Filters `input` through a typed column block by block, without
+/// materializing per-doc `FieldValue`s. Missing values never match (SQL
+/// NULL semantics, same as the scalar scan).
+fn filter_typed_column<T: Copy>(
+    vals: &[Option<T>],
+    input: &PostingList,
+    pred: &Expr,
+    cmp: impl Fn(T, &FieldValue) -> Option<Ordering>,
+) -> PostingList {
+    let mut out = PostingList::new();
+    for b in input.blocks() {
+        for &d in b.ids() {
+            if let Some(Some(x)) = vals.get(d as usize) {
+                if pred_ord_matches(pred, |v| cmp(*x, v)) {
+                    out.push(d);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Block-at-a-time scan residual: evaluates `pred` over `input` via the
+/// segment's typed doc-value column, falling back to the scalar
+/// [`scan_predicate`] when the predicate's column has no typed column
+/// (identical semantics either way).
+fn block_scan_predicate(
+    pred: &Expr,
+    seg: &Segment,
+    input: &PostingList,
+    work: &mut Work,
+) -> PostingList {
+    let col = match pred {
+        Expr::Eq(c, _) | Expr::Ne(c, _) | Expr::In(c, _) | Expr::Range(c, _, _) => c,
+        other => return scan_predicate(other, seg, input, work),
+    };
+    let Some(column) = seg.column(col) else {
+        return scan_predicate(pred, seg, input, work);
+    };
+    work.docs += input.len() as u64;
+    match column {
+        ColumnValues::I64(vals) => filter_typed_column(vals, input, pred, cmp_col_i64),
+        ColumnValues::U64(vals) => filter_typed_column(vals, input, pred, cmp_col_u64),
+        ColumnValues::F64(vals) => filter_typed_column(vals, input, pred, cmp_col_f64),
+        ColumnValues::Str(vals) => {
+            let mut out = PostingList::new();
+            for b in input.blocks() {
+                for &d in b.ids() {
+                    if let Some(Some(x)) = vals.get(d as usize) {
+                        if pred_ord_matches(pred, |v| cmp_col_str(x, v)) {
+                            out.push(d);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Executes a plan on one segment block-at-a-time: set operations run
+/// through the skip-data-aware block kernels (timed as the `block_prune`
+/// stage) and scan residuals filter typed columns block by block. Leaves
+/// (index lookups, composite scans) share the scalar implementations, so
+/// results are identical to [`execute_plan`] by construction.
+fn execute_plan_blocks(
+    plan: &Plan,
+    seg: &Segment,
+    analyzer: &Analyzer,
+    work: &mut Work,
+) -> PostingList {
+    match plan {
+        Plan::ScanFilter { input, predicates } => {
+            let mut acc = execute_plan_blocks(input, seg, analyzer, work);
+            for p in predicates {
+                if acc.is_empty() {
+                    break;
+                }
+                acc = block_scan_predicate(p, seg, &acc, work);
+            }
+            acc
+        }
+        Plan::Intersect(ps) => {
+            let lists: Vec<PostingList> = ps
+                .iter()
+                .map(|p| execute_plan_blocks(p, seg, analyzer, work))
+                .collect();
+            let refs: Vec<&PostingList> = lists.iter().collect();
+            let t = Instant::now();
+            let out = PostingList::intersect_many_stats(&refs, &mut work.blocks);
+            work.prune_ns += t.elapsed().as_nanos() as u64;
+            out
+        }
+        Plan::Union(ps) => {
+            let lists: Vec<PostingList> = ps
+                .iter()
+                .map(|p| execute_plan_blocks(p, seg, analyzer, work))
+                .collect();
+            let refs: Vec<&PostingList> = lists.iter().collect();
+            let t = Instant::now();
+            let out = PostingList::union_many_stats(&refs, &mut work.blocks);
+            work.prune_ns += t.elapsed().as_nanos() as u64;
+            out
+        }
+        other => execute_plan(other, seg, analyzer, work),
+    }
+}
+
+/// The cached variant of [`execute_plan_blocks`]: consults the segment
+/// filter cache at cacheable roots exactly like `execute_node`, but runs
+/// set operations and scan residuals through the block kernels.
+fn execute_node_blocks(
+    node: &CacheNode<'_>,
+    seg: &Segment,
+    analyzer: &Analyzer,
+    work: &mut Work,
+    ctx: &FilterCacheContext<'_>,
+) -> PostingList {
+    match node {
+        CacheNode::Cached { plan, fp } => {
+            let key = (ctx.shard, seg.id, *fp);
+            if let Some(hit) = ctx.cache.get(&key) {
+                return seg.filter_live_ref(&hit);
+            }
+            let out = execute_plan_blocks(plan, seg, analyzer, work);
+            ctx.cache
+                .insert(key, Arc::new(out.clone()), posting_weight(&out));
+            out
+        }
+        CacheNode::ScanFilter { input, predicates } => {
+            let mut acc = execute_node_blocks(input, seg, analyzer, work, ctx);
+            for p in *predicates {
+                if acc.is_empty() {
+                    break;
+                }
+                acc = block_scan_predicate(p, seg, &acc, work);
+            }
+            acc
+        }
+        CacheNode::Intersect(ns) => {
+            let lists: Vec<PostingList> = ns
+                .iter()
+                .map(|n| execute_node_blocks(n, seg, analyzer, work, ctx))
+                .collect();
+            let refs: Vec<&PostingList> = lists.iter().collect();
+            let t = Instant::now();
+            let out = PostingList::intersect_many_stats(&refs, &mut work.blocks);
+            work.prune_ns += t.elapsed().as_nanos() as u64;
+            out
+        }
+        CacheNode::Union(ns) => {
+            let lists: Vec<PostingList> = ns
+                .iter()
+                .map(|n| execute_node_blocks(n, seg, analyzer, work, ctx))
+                .collect();
+            let refs: Vec<&PostingList> = lists.iter().collect();
+            let t = Instant::now();
+            let out = PostingList::union_many_stats(&refs, &mut work.blocks);
+            work.prune_ns += t.elapsed().as_nanos() as u64;
+            out
+        }
+        CacheNode::Direct(plan) => execute_plan_blocks(plan, seg, analyzer, work),
+    }
+}
+
+/// Block-path collection / sort / limit / fetch: row ids stay in posting
+/// blocks until the final projection, and ORDER BY decorates each id with
+/// its sort key exactly once (the scalar path fetches keys inside the
+/// comparator). The decorated sort's total order — key order, then
+/// `(segment, doc)` — reproduces the scalar stable sort byte for byte,
+/// because ids are collected in ascending `(segment, doc)` order.
+fn collect_blocks_and_fetch(
+    query: &Query,
+    segments: &[&Segment],
+    mut matcher: impl FnMut(&Segment, &Analyzer, &mut Work) -> PostingList,
+) -> QueryRows {
+    let analyzer = Analyzer::default();
+    let mut work = Work::default();
+    let mut ids: Vec<(usize, esdb_index::segment::DocId)> = Vec::new();
+    'collect: for (si, seg) in segments.iter().enumerate() {
+        let list = matcher(seg, &analyzer, &mut work);
+        for b in list.blocks() {
+            ids.extend(b.ids().iter().map(|&d| (si, d)));
+        }
+        if query.order_by.is_none() {
+            if let Some(limit) = query.limit {
+                if ids.len() >= limit {
+                    ids.truncate(limit);
+                    break 'collect;
+                }
+            }
+        }
+    }
+    if let Some(ob) = &query.order_by {
+        // Decorate once: one doc-values lookup per id instead of two per
+        // comparison.
+        let mut dec: Vec<(Option<FieldValue>, usize, esdb_index::segment::DocId)> = ids
+            .iter()
+            .map(|&(si, d)| {
+                let key = segments[si]
+                    .doc_value(&ob.column, d)
+                    .or_else(|| segments[si].doc(d).and_then(|doc| doc.get(&ob.column)));
+                (key, si, d)
+            })
+            .collect();
+        type Dec = (Option<FieldValue>, usize, esdb_index::segment::DocId);
+        let cmp = |a: &Dec, b: &Dec| {
+            let ord = match (&a.0, &b.0) {
+                (Some(x), Some(y)) => cmp_values(x, y).unwrap_or(Ordering::Equal),
+                (Some(_), None) => Ordering::Greater,
+                (None, Some(_)) => Ordering::Less,
+                (None, None) => Ordering::Equal,
+            };
+            let ord = if ob.descending { ord.reverse() } else { ord };
+            ord.then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+        };
+        // Top-k selection: the comparator is a strict total order (ties
+        // break on the unique `(segment, doc)` pair), so selecting the
+        // smallest `limit` elements and sorting only those reproduces the
+        // full sort's prefix exactly, in O(n + k log k) instead of
+        // O(n log n).
+        if let Some(limit) = query.limit {
+            if limit == 0 {
+                dec.clear();
+            } else if limit < dec.len() {
+                dec.select_nth_unstable_by(limit - 1, cmp);
+                dec.truncate(limit);
+            }
+        }
+        dec.sort_by(cmp);
+        ids = dec.into_iter().map(|(_, si, d)| (si, d)).collect();
+    }
+    if let Some(limit) = query.limit {
+        ids.truncate(limit);
+    }
+    let docs: Vec<Document> = ids
+        .into_iter()
+        .filter_map(|(si, d)| segments[si].doc(d).cloned())
+        .collect();
+    QueryRows {
+        docs,
+        postings_scanned: work.postings,
+        docs_scanned: work.docs,
+        blocks: work.blocks,
+        block_prune_ns: work.prune_ns,
+    }
+}
+
+/// Executes a full query block-at-a-time against a pinned point-in-time
+/// view. Results are identical to [`execute_on_snapshot`]; only the
+/// execution strategy (and the block counters) differ.
+pub fn execute_blocks_on_snapshot<V: SnapshotView + ?Sized>(
+    query: &Query,
+    schema: &CollectionSchema,
+    view: &V,
+    opts: QueryOptions,
+) -> QueryRows {
+    let plan = if opts.use_optimizer {
+        optimize(&query.filter, schema)
+    } else {
+        naive_plan(&query.filter)
+    };
+    let segs: Vec<&Segment> = view.segments().iter().map(|s| s.as_ref()).collect();
+    collect_blocks_and_fetch(query, &segs, |seg, analyzer, work| {
+        execute_plan_blocks(&plan, seg, analyzer, work)
+    })
+}
+
+/// Executes a prepared plan block-at-a-time with the segment filter cache
+/// (the block counterpart of [`execute_prepared_on_snapshot`]).
+pub fn execute_prepared_blocks_on_snapshot<V: SnapshotView + ?Sized>(
+    query: &Query,
+    prepared: &PreparedPlan<'_>,
+    view: &V,
+    cache: Option<&FilterCacheContext<'_>>,
+) -> QueryRows {
+    let segs: Vec<&Segment> = view.segments().iter().map(|s| s.as_ref()).collect();
+    match cache {
+        None => collect_blocks_and_fetch(query, &segs, |seg, analyzer, work| {
+            execute_plan_blocks(prepared.plan, seg, analyzer, work)
+        }),
+        Some(ctx) => collect_blocks_and_fetch(query, &segs, |seg, analyzer, work| {
+            execute_node_blocks(&prepared.root, seg, analyzer, work, ctx)
+        }),
+    }
+}
+
+/// Aggregation pushdown: computes the aggregate select list directly from
+/// per-segment columnar doc values, never materializing stored payloads
+/// for column-backed inputs. The matched doc ids are consumed through
+/// [`SnapshotView::for_each_live_block`], so the copy-on-write live-doc
+/// bitmap is applied a block at a time.
+fn aggregate_blocks<V: SnapshotView + ?Sized>(
+    query: &Query,
+    view: &V,
+    mut matcher: impl FnMut(&Segment, &Analyzer, &mut Work) -> PostingList,
+) -> AggPartials {
+    let analyzer = Analyzer::default();
+    let mut work = Work::default();
+    let mut partials = AggPartials::default();
+    let mut payloads = 0u64;
+    let funcs = &query.aggregates;
+    for (si, seg) in view.segments().iter().enumerate() {
+        let seg = seg.as_ref();
+        let list = matcher(seg, &analyzer, &mut work);
+        // Typed column per aggregate input (None = payload fallback).
+        let cols: Vec<Option<&ColumnValues>> = funcs
+            .iter()
+            .map(|f| f.column().and_then(|c| seg.column(c)))
+            .collect();
+        let gcol = query.group_by.as_deref().and_then(|c| seg.column(c));
+        view.for_each_live_block(si, &list, &mut |block_ids| {
+            for &d in block_ids {
+                let key = match &query.group_by {
+                    None => None,
+                    Some(c) => match gcol {
+                        Some(col) => col.get(d),
+                        None => {
+                            payloads += 1;
+                            seg.doc(d).and_then(|doc| doc.get(c))
+                        }
+                    },
+                };
+                let parts = partials.entry(key, funcs);
+                for (i, (p, f)) in parts.iter_mut().zip(funcs).enumerate() {
+                    let v = match cols[i] {
+                        Some(col) => col.get(d),
+                        None => match f.column() {
+                            Some(c) => {
+                                payloads += 1;
+                                seg.doc(d).and_then(|doc| doc.get(c))
+                            }
+                            None => None,
+                        },
+                    };
+                    p.accumulate(f, v);
+                }
+            }
+        });
+    }
+    partials.postings_scanned = work.postings;
+    partials.docs_scanned = work.docs;
+    partials.payload_reads = payloads;
+    partials.blocks = work.blocks;
+    partials.block_prune_ns = work.prune_ns;
+    partials
+}
+
+/// Executes an aggregate query block-at-a-time against a pinned view,
+/// returning mergeable per-shard partials (the coordinator merges shards
+/// with [`AggPartials::merge`] and finishes once).
+pub fn aggregate_blocks_on_snapshot<V: SnapshotView + ?Sized>(
+    query: &Query,
+    schema: &CollectionSchema,
+    view: &V,
+    opts: QueryOptions,
+) -> AggPartials {
+    let plan = if opts.use_optimizer {
+        optimize(&query.filter, schema)
+    } else {
+        naive_plan(&query.filter)
+    };
+    aggregate_blocks(query, view, |seg, analyzer, work| {
+        execute_plan_blocks(&plan, seg, analyzer, work)
+    })
+}
+
+/// Cached variant of [`aggregate_blocks_on_snapshot`].
+pub fn aggregate_prepared_blocks_on_snapshot<V: SnapshotView + ?Sized>(
+    query: &Query,
+    prepared: &PreparedPlan<'_>,
+    view: &V,
+    cache: Option<&FilterCacheContext<'_>>,
+) -> AggPartials {
+    match cache {
+        None => aggregate_blocks(query, view, |seg, analyzer, work| {
+            execute_plan_blocks(prepared.plan, seg, analyzer, work)
+        }),
+        Some(ctx) => aggregate_blocks(query, view, |seg, analyzer, work| {
+            execute_node_blocks(&prepared.root, seg, analyzer, work, ctx)
+        }),
+    }
+}
+
+/// The scalar aggregation oracle: materializes every matching row through
+/// the scalar executor, then aggregates with the reference semantics of
+/// [`crate::aggregate::aggregate`]. `payload_reads` counts the
+/// materialized rows — the cost the block path's pushdown avoids.
+pub fn aggregate_scalar_on_snapshot<V: SnapshotView + ?Sized>(
+    query: &Query,
+    schema: &CollectionSchema,
+    view: &V,
+    opts: QueryOptions,
+) -> AggResult {
+    let row_query = Query {
+        aggregates: Vec::new(),
+        group_by: None,
+        projection: Vec::new(),
+        order_by: None,
+        limit: None,
+        ..query.clone()
+    };
+    let rows = execute_on_snapshot(&row_query, schema, view, opts);
+    let agg_rows = aggregate_rows(&rows.docs, &query.aggregates, query.group_by.as_deref());
+    AggResult {
+        rows: agg_rows,
+        postings_scanned: rows.postings_scanned,
+        docs_scanned: rows.docs_scanned,
+        payload_reads: rows.docs.len() as u64,
+        blocks: rows.blocks,
+        block_prune_ns: rows.block_prune_ns,
     }
 }
 
@@ -738,6 +1285,7 @@ mod tests {
             &[&seg],
             QueryOptions {
                 use_optimizer: optimizer,
+                ..QueryOptions::default()
             },
         )
     }
@@ -758,6 +1306,7 @@ mod tests {
                 &[&seg],
                 QueryOptions {
                     use_optimizer: optimizer,
+                    ..QueryOptions::default()
                 },
             );
             let mut got: Vec<u64> = rows.docs.iter().map(|d| d.record_id.raw()).collect();
@@ -920,5 +1469,222 @@ mod tests {
             assert_eq!(a.postings_scanned, b.postings_scanned, "{sql}");
             assert_eq!(a.docs_scanned, b.docs_scanned, "{sql}");
         }
+    }
+
+    /// Minimal snapshot view over owned segments, for block-path tests.
+    struct TestView {
+        segs: Vec<Arc<Segment>>,
+    }
+
+    impl SnapshotView for TestView {
+        fn segments(&self) -> &[Arc<Segment>] {
+            &self.segs
+        }
+        fn search_generation(&self) -> u64 {
+            1
+        }
+    }
+
+    fn test_view(segs: Vec<Segment>) -> TestView {
+        TestView {
+            segs: segs.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    const BLOCK_CORPUS: &[&str] = &[
+        "SELECT * FROM transaction_logs WHERE tenant_id = 1",
+        "SELECT * FROM transaction_logs WHERE tenant_id = 2 AND status = 1",
+        "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND created_time BETWEEN 1050 AND 1100",
+        "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND created_time >= 1050 AND created_time <= 1150 AND status = 0 OR group = 7",
+        "SELECT * FROM transaction_logs WHERE MATCH(auction_title, 'rust book')",
+        "SELECT * FROM transaction_logs WHERE tenant_id IN (1, 3) AND group IN (2, 4)",
+        "SELECT * FROM transaction_logs WHERE status != 2 AND tenant_id = 4",
+        "SELECT * FROM transaction_logs WHERE amount > 100.0 AND amount <= 200.0",
+        "SELECT * FROM transaction_logs WHERE province = 'zhejiang' AND status = 1",
+        "SELECT * FROM transaction_logs WHERE tenant_id = 1 ORDER BY created_time DESC LIMIT 5",
+        "SELECT * FROM transaction_logs WHERE status = 1 ORDER BY amount ASC LIMIT 17",
+        "SELECT * FROM transaction_logs WHERE tenant_id = 2 LIMIT 9",
+        "SELECT * FROM transaction_logs WHERE created_time < 1010 OR created_time > 1190",
+    ];
+
+    #[test]
+    fn block_rows_match_scalar_exactly() {
+        let view = test_view(vec![build_segment()]);
+        let schema = CollectionSchema::transaction_logs();
+        for sql in BLOCK_CORPUS {
+            let q = translate(parse_sql(sql).unwrap());
+            for use_optimizer in [true, false] {
+                let opts = QueryOptions {
+                    use_optimizer,
+                    ..QueryOptions::default()
+                };
+                let scalar = execute_on_snapshot(&q, &schema, &view, opts);
+                let block = execute_blocks_on_snapshot(&q, &schema, &view, opts);
+                assert_eq!(scalar.docs, block.docs, "{sql} optimizer={use_optimizer}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_rows_match_scalar_with_tombstones() {
+        let mut seg = build_segment();
+        for r in [0u64, 3, 7, 50, 51, 52, 53, 199] {
+            assert!(seg.delete_record(r));
+        }
+        let view = test_view(vec![seg]);
+        let schema = CollectionSchema::transaction_logs();
+        for sql in BLOCK_CORPUS {
+            let q = translate(parse_sql(sql).unwrap());
+            let scalar = execute_on_snapshot(&q, &schema, &view, QueryOptions::default());
+            let block = execute_blocks_on_snapshot(&q, &schema, &view, QueryOptions::default());
+            assert_eq!(scalar.docs, block.docs, "{sql}");
+        }
+    }
+
+    #[test]
+    fn cached_block_execution_matches_plain_block_execution() {
+        let view = test_view(vec![build_segment()]);
+        let schema = CollectionSchema::transaction_logs();
+        let q = translate(
+            parse_sql(
+                "SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 0 \
+                 ORDER BY created_time ASC LIMIT 100",
+            )
+            .unwrap(),
+        );
+        let plan = optimize(&q.filter, &schema);
+        let prepared = PreparedPlan::new(&plan);
+        let cache = SegmentFilterCache::new(1 << 20);
+        let ctx = FilterCacheContext {
+            cache: &cache,
+            shard: 0,
+        };
+        let plain = execute_blocks_on_snapshot(&q, &schema, &view, QueryOptions::default());
+        let cold = execute_prepared_blocks_on_snapshot(&q, &prepared, &view, Some(&ctx));
+        assert_eq!(cold.docs, plain.docs);
+        let warm = execute_prepared_blocks_on_snapshot(&q, &prepared, &view, Some(&ctx));
+        assert_eq!(warm.docs, plain.docs);
+        assert!(cache.stats().hits >= 1, "warm pass must hit");
+    }
+
+    #[test]
+    fn block_path_is_eligible_for_leaf_plans_only() {
+        let schema = CollectionSchema::transaction_logs();
+        let eligible = translate(
+            parse_sql("SELECT * FROM transaction_logs WHERE tenant_id = 1 AND status = 1").unwrap(),
+        );
+        assert!(block_eligible(&optimize(&eligible.filter, &schema)));
+        // A NOT-over-OR style residual the optimizer cannot flatten keeps
+        // nested booleans inside a scan predicate.
+        let nested = Expr::And(vec![
+            Expr::Eq("tenant_id".into(), FieldValue::Int(1)),
+            Expr::Or(vec![
+                Expr::And(vec![
+                    Expr::Ne("status".into(), FieldValue::Int(1)),
+                    Expr::Ne("status".into(), FieldValue::Int(2)),
+                ]),
+                Expr::Match("auction_title".into(), "rust".into()),
+            ]),
+        ]);
+        let plan = optimize(&nested, &schema);
+        // Whatever shape the optimizer picks, eligibility must agree with
+        // the structural rule (no nested boolean residuals).
+        fn has_nested_residual(p: &Plan) -> bool {
+            match p {
+                Plan::ScanFilter { input, predicates } => {
+                    predicates
+                        .iter()
+                        .any(|e| matches!(e, Expr::And(_) | Expr::Or(_)))
+                        || has_nested_residual(input)
+                }
+                Plan::IndexPredicate(e) => matches!(e, Expr::And(_) | Expr::Or(_)),
+                Plan::Intersect(ps) | Plan::Union(ps) => ps.iter().any(has_nested_residual),
+                _ => false,
+            }
+        }
+        assert_eq!(block_eligible(&plan), !has_nested_residual(&plan));
+    }
+
+    #[test]
+    fn aggregation_pushdown_matches_scalar_oracle_with_zero_payload_reads() {
+        let view = test_view(vec![build_segment()]);
+        let schema = CollectionSchema::transaction_logs();
+        for sql in [
+            "SELECT COUNT(*) FROM transaction_logs WHERE tenant_id = 1",
+            "SELECT COUNT(*), SUM(group), MIN(amount), MAX(created_time), AVG(status) \
+             FROM transaction_logs WHERE tenant_id = 1 AND status = 1",
+            "SELECT COUNT(amount), SUM(amount) FROM transaction_logs \
+             WHERE created_time BETWEEN 1050 AND 1150",
+            "SELECT COUNT(*), SUM(group) FROM transaction_logs \
+             WHERE tenant_id = 2 GROUP BY status",
+            "SELECT COUNT(*), MIN(created_time), MAX(amount) FROM transaction_logs \
+             WHERE tenant_id = 9999",
+            "SELECT COUNT(*) FROM transaction_logs WHERE tenant_id = 3 GROUP BY province",
+        ] {
+            let q = translate(parse_sql(sql).unwrap());
+            assert!(aggregate_pushdown_eligible(&q, &schema), "{sql}");
+            let oracle = aggregate_scalar_on_snapshot(&q, &schema, &view, QueryOptions::default());
+            let partials =
+                aggregate_blocks_on_snapshot(&q, &schema, &view, QueryOptions::default());
+            assert_eq!(partials.payload_reads, 0, "{sql}: pushdown read payloads");
+            let got = partials.finish(&q.aggregates, q.group_by.is_some());
+            assert_eq!(got.rows, oracle.rows, "{sql}");
+            assert!(
+                oracle.payload_reads > 0 || oracle.rows[0].values[0] == FieldValue::Int(0),
+                "{sql}: scalar oracle materializes rows"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregation_pushdown_matches_oracle_under_tombstones() {
+        let mut seg = build_segment();
+        for r in (0..200u64).step_by(3) {
+            assert!(seg.delete_record(r));
+        }
+        let view = test_view(vec![seg, build_segment_offset(200)]);
+        let schema = CollectionSchema::transaction_logs();
+        let q = translate(
+            parse_sql(
+                "SELECT COUNT(*), SUM(group), MIN(created_time), MAX(created_time) \
+                 FROM transaction_logs WHERE tenant_id = 1 GROUP BY status",
+            )
+            .unwrap(),
+        );
+        let oracle = aggregate_scalar_on_snapshot(&q, &schema, &view, QueryOptions::default());
+        let partials = aggregate_blocks_on_snapshot(&q, &schema, &view, QueryOptions::default());
+        assert_eq!(partials.payload_reads, 0);
+        let got = partials.finish(&q.aggregates, true);
+        assert_eq!(got.rows, oracle.rows);
+    }
+
+    /// Like [`build_segment`] but with record ids / times offset, to model
+    /// a second segment.
+    fn build_segment_offset(base: u64) -> Segment {
+        let schema = CollectionSchema::transaction_logs();
+        let mut b = SegmentBuilder::without_attr_index(schema);
+        for i in 0..100u64 {
+            b.add(
+                Document::builder(TenantId(1 + i % 4), RecordId(base + i), 1_000 + base + i)
+                    .field("status", (i % 3) as i64)
+                    .field("group", (i % 10) as i64)
+                    .build(),
+            );
+        }
+        b.refresh(2)
+    }
+
+    #[test]
+    fn bool_columns_are_not_pushdown_eligible() {
+        let schema = CollectionSchema::builder("t")
+            .field("flag", esdb_doc::FieldType::Bool, true, true)
+            .field("v", esdb_doc::FieldType::Long, true, true)
+            .build();
+        let q = translate(parse_sql("SELECT SUM(flag) FROM t").unwrap());
+        assert!(!aggregate_pushdown_eligible(&q, &schema));
+        let q2 = translate(parse_sql("SELECT SUM(v) FROM t").unwrap());
+        assert!(aggregate_pushdown_eligible(&q2, &schema));
+        let q3 = translate(parse_sql("SELECT COUNT(*) FROM t GROUP BY flag").unwrap());
+        assert!(!aggregate_pushdown_eligible(&q3, &schema));
     }
 }

@@ -176,6 +176,29 @@ pub fn query_fingerprint(plan: &Plan, query: &Query) -> u128 {
     for col in &query.projection {
         encode_str(col, &mut buf);
     }
+    buf.extend_from_slice(&(query.aggregates.len() as u32).to_be_bytes());
+    for agg in &query.aggregates {
+        use crate::aggregate::AggFunc;
+        let (tag, col) = match agg {
+            AggFunc::Count => (1u8, None),
+            AggFunc::CountField(c) => (2, Some(c)),
+            AggFunc::Sum(c) => (3, Some(c)),
+            AggFunc::Avg(c) => (4, Some(c)),
+            AggFunc::Min(c) => (5, Some(c)),
+            AggFunc::Max(c) => (6, Some(c)),
+        };
+        buf.push(tag);
+        if let Some(c) = col {
+            encode_str(c, &mut buf);
+        }
+    }
+    match &query.group_by {
+        None => buf.push(0),
+        Some(c) => {
+            buf.push(1);
+            encode_str(c, &mut buf);
+        }
+    }
     stable_hash128(&buf)
 }
 
@@ -465,6 +488,8 @@ mod tests {
         let q = |order: Option<OrderBy>, limit: Option<usize>| Query {
             table: "t".into(),
             projection: vec![],
+            aggregates: vec![],
+            group_by: None,
             filter: Expr::True,
             order_by: order,
             limit,

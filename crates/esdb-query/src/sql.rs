@@ -3,10 +3,14 @@
 //! Supported grammar (case-insensitive keywords):
 //!
 //! ```text
-//! SELECT (* | col, ...) FROM table
+//! SELECT (* | col, ... | agg, ...) FROM table
 //!   [WHERE expr]
+//!   [GROUP BY col]
 //!   [ORDER BY col [ASC|DESC]]
 //!   [LIMIT n]
+//!
+//! agg       := COUNT(*) | COUNT(col) | SUM(col) | AVG(col)
+//!            | MIN(col) | MAX(col)
 //!
 //! expr      := and_expr (OR and_expr)*
 //! and_expr  := primary (AND primary)*
@@ -22,6 +26,7 @@
 //! String literals that parse as `YYYY-MM-DD[ HH:MM:SS]` become
 //! [`FieldValue::Timestamp`]s (the Xdriver4ES type-conversion mapping).
 
+use crate::aggregate::AggFunc;
 use crate::ast::{Bound, Expr, OrderBy, Query};
 use crate::datetime::parse_datetime;
 use esdb_common::{EsdbError, Result};
@@ -187,6 +192,37 @@ impl Parser {
         }
     }
 
+    /// Parses one aggregate select item if the cursor sits on `FUNC(`;
+    /// leaves the cursor untouched otherwise (a plain column may share the
+    /// function's name).
+    fn agg_item(&mut self) -> Result<Option<AggFunc>> {
+        let Some(Token::Ident(name)) = self.peek() else {
+            return Ok(None);
+        };
+        let func = name.to_ascii_uppercase();
+        if !matches!(func.as_str(), "COUNT" | "SUM" | "AVG" | "MIN" | "MAX") {
+            return Ok(None);
+        }
+        if !matches!(self.tokens.get(self.pos + 1), Some(Token::Symbol(s)) if s == "(") {
+            return Ok(None);
+        }
+        self.pos += 2; // FUNC (
+        let agg = if func == "COUNT" && self.eat_symbol("*") {
+            AggFunc::Count
+        } else {
+            let col = self.ident()?;
+            match func.as_str() {
+                "COUNT" => AggFunc::CountField(col),
+                "SUM" => AggFunc::Sum(col),
+                "AVG" => AggFunc::Avg(col),
+                "MIN" => AggFunc::Min(col),
+                _ => AggFunc::Max(col),
+            }
+        };
+        self.expect_symbol(")")?;
+        Ok(Some(agg))
+    }
+
     fn expr(&mut self) -> Result<Expr> {
         let mut terms = vec![self.and_expr()?];
         while self.eat_keyword("OR") {
@@ -322,10 +358,21 @@ pub fn parse_sql(input: &str) -> Result<Query> {
     };
     p.expect_keyword("SELECT")?;
     let mut projection = Vec::new();
+    let mut aggregates = Vec::new();
     if !p.eat_symbol("*") {
-        projection.push(p.ident()?);
-        while p.eat_symbol(",") {
-            projection.push(p.ident()?);
+        loop {
+            match p.agg_item()? {
+                Some(a) => aggregates.push(a),
+                None => projection.push(p.ident()?),
+            }
+            if !p.eat_symbol(",") {
+                break;
+            }
+        }
+        if !aggregates.is_empty() && !projection.is_empty() {
+            return Err(EsdbError::Parse(
+                "cannot mix aggregates and plain columns in the select list".into(),
+            ));
         }
     }
     p.expect_keyword("FROM")?;
@@ -335,6 +382,17 @@ pub fn parse_sql(input: &str) -> Result<Query> {
     } else {
         Expr::True
     };
+    let group_by = if p.eat_keyword("GROUP") {
+        p.expect_keyword("BY")?;
+        Some(p.ident()?)
+    } else {
+        None
+    };
+    if group_by.is_some() && aggregates.is_empty() {
+        return Err(EsdbError::Parse(
+            "GROUP BY requires an aggregate select list".into(),
+        ));
+    }
     let order_by = if p.eat_keyword("ORDER") {
         p.expect_keyword("BY")?;
         let column = p.ident()?;
@@ -368,6 +426,8 @@ pub fn parse_sql(input: &str) -> Result<Query> {
     Ok(Query {
         table,
         projection,
+        aggregates,
+        group_by,
         filter,
         order_by,
         limit,
@@ -487,6 +547,54 @@ mod tests {
             "SELECT * FROM t LIMIT x",
             "SELECT * FROM t WHERE a ~ 1",
             "SELECT * FROM t trailing",
+        ] {
+            assert!(parse_sql(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn aggregate_select_list_and_group_by() {
+        let q = parse_sql(
+            "SELECT COUNT(*), COUNT(amount), SUM(amount), AVG(amount), MIN(amount), MAX(created_time) \
+             FROM t WHERE tenant_id = 10086 GROUP BY status",
+        )
+        .unwrap();
+        assert!(q.is_aggregate());
+        assert!(q.projection.is_empty());
+        assert_eq!(q.group_by.as_deref(), Some("status"));
+        assert_eq!(
+            q.aggregates,
+            vec![
+                AggFunc::Count,
+                AggFunc::CountField("amount".into()),
+                AggFunc::Sum("amount".into()),
+                AggFunc::Avg("amount".into()),
+                AggFunc::Min("amount".into()),
+                AggFunc::Max("created_time".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregate_without_group_by_and_column_named_like_func() {
+        let q = parse_sql("SELECT COUNT(*) FROM t WHERE status = 1").unwrap();
+        assert_eq!(q.aggregates, vec![AggFunc::Count]);
+        assert!(q.group_by.is_none());
+        // `min` without parens is a plain projected column.
+        let q = parse_sql("SELECT min, max FROM t").unwrap();
+        assert!(q.aggregates.is_empty());
+        assert_eq!(q.projection, vec!["min", "max"]);
+    }
+
+    #[test]
+    fn bad_aggregate_queries_fail() {
+        for bad in [
+            "SELECT COUNT(*), status FROM t",
+            "SELECT status FROM t GROUP BY status",
+            "SELECT * FROM t GROUP BY status",
+            "SELECT SUM() FROM t",
+            "SELECT SUM(*) FROM t",
+            "SELECT COUNT(amount FROM t",
         ] {
             assert!(parse_sql(bad).is_err(), "{bad} should fail");
         }

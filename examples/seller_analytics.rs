@@ -93,6 +93,7 @@ fn main() {
             &sql,
             QueryOptions {
                 use_optimizer: true,
+                ..QueryOptions::default()
             },
         )
         .expect("opt");
@@ -103,6 +104,7 @@ fn main() {
             &sql,
             QueryOptions {
                 use_optimizer: false,
+                ..QueryOptions::default()
             },
         )
         .expect("naive");

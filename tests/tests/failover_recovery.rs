@@ -60,6 +60,7 @@ fn answers(engine: &ShardEngine, corpus: &[String]) -> Vec<Vec<u64>> {
                 &segs,
                 QueryOptions {
                     use_optimizer: true,
+                    ..QueryOptions::default()
                 },
             );
             rows.docs.iter().map(|d| d.record_id.raw()).collect()

@@ -99,7 +99,10 @@ fn multi_composite_execution_is_exact() {
                 &q,
                 &schema,
                 &[&seg],
-                QueryOptions { use_optimizer },
+                QueryOptions {
+                use_optimizer,
+                ..QueryOptions::default()
+            },
             );
             assert_eq!(
                 rows.docs.len(),

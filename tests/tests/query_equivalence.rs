@@ -104,6 +104,8 @@ proptest! {
             filter: filter.clone(),
             order_by: None,
             limit: None,
+            aggregates: vec![],
+            group_by: None,
         };
         let mut expected: Vec<u64> = docs
             .iter()
@@ -116,7 +118,10 @@ proptest! {
                 &query,
                 &schema,
                 &seg_refs,
-                QueryOptions { use_optimizer },
+                QueryOptions {
+                    use_optimizer,
+                    ..QueryOptions::default()
+                },
             );
             let mut got: Vec<u64> = rows.docs.iter().map(|d| d.record_id.raw()).collect();
             got.sort_unstable();

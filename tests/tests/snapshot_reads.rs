@@ -97,6 +97,7 @@ fn reader_loop(
         let snap = reader.pin_snapshot(ShardId(0));
         let opts = QueryOptions {
             use_optimizer: true,
+            ..QueryOptions::default()
         };
         let a = rids(&execute_on_snapshot(&q_all, schema, snap.as_ref(), opts));
         let b = rids(&execute_on_snapshot(&q_all, schema, snap.as_ref(), opts));
@@ -255,6 +256,7 @@ fn pinned_snapshot_answers_identically_after_merge() {
 
     let opts = QueryOptions {
         use_optimizer: true,
+        ..QueryOptions::default()
     };
     let corpus: Vec<_> = [Q_ALL, Q_ODD]
         .iter()
