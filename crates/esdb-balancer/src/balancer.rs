@@ -166,7 +166,7 @@ mod tests {
     }
 
     fn hot_period(hot: TenantId, hot_writes: u64, cold_tenants: u64) -> PeriodReport {
-        let mut m = WorkloadMonitor::new();
+        let m = WorkloadMonitor::new();
         for i in 0..hot_writes {
             m.record_write(hot, ShardId((i % 4) as u32), NodeId(0), 100);
         }
@@ -192,7 +192,7 @@ mod tests {
     fn cold_tenants_not_proposed() {
         let mut b = LoadBalancer::new(config());
         // 1000 tenants, 1 write each: all proportions are 0.1%.
-        let mut m = WorkloadMonitor::new();
+        let m = WorkloadMonitor::new();
         for t in 0..1000u64 {
             m.record_write(TenantId(t), ShardId(0), NodeId(0), 10);
         }
@@ -244,7 +244,7 @@ mod tests {
     #[test]
     fn initialization_uses_storage_proportions() {
         let mut b = LoadBalancer::new(config());
-        let mut m = WorkloadMonitor::new();
+        let m = WorkloadMonitor::new();
         m.load_storage([
             (TenantId(1), 400_000), // 40%
             (TenantId(2), 5_000),   // 0.5% — below floor

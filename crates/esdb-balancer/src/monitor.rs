@@ -14,7 +14,7 @@
 use esdb_common::fastmap::{fast_map, FastMap};
 use esdb_common::{NodeId, ShardId, TenantId};
 use esdb_telemetry::{Counter, Labels, MetricsRegistry};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Cumulative writes per tenant.
 const TENANT_WRITES: &str = "esdb_monitor_tenant_writes_total";
@@ -61,8 +61,36 @@ impl PeriodReport {
     }
 }
 
+/// Stripes in the per-tenant handle cache (power of two). Writers on
+/// different tenants contend on different stripes; within a stripe the
+/// steady state is a read-lock probe plus relaxed atomic adds.
+const TENANT_STRIPES: usize = 16;
+
+/// Cached counter handles for one tenant's write + storage series.
+#[derive(Debug)]
+struct TenantHandles {
+    writes: Arc<Counter>,
+    storage: Arc<Counter>,
+}
+
+/// Counter values at the last `take_period`, so period reports are
+/// deltas over monotone series.
+#[derive(Debug, Default)]
+struct Baselines {
+    tenant: FastMap<TenantId, u64>,
+    shard: FastMap<ShardId, u64>,
+    node: FastMap<NodeId, u64>,
+    total: u64,
+}
+
 /// Accumulates write events and storage sizes; `take_period` harvests the
 /// delta since the previous harvest while storage totals persist.
+///
+/// Recording is `&self` and safe from any number of writer threads: the
+/// hot path is cached `Arc<Counter>` handles (relaxed atomic adds) found
+/// through striped read-mostly caches — a registry probe happens only the
+/// first time a tenant/shard/node is seen. Harvesting serializes on a
+/// baselines mutex, off the write path.
 #[derive(Debug)]
 pub struct WorkloadMonitor {
     registry: Arc<MetricsRegistry>,
@@ -70,12 +98,13 @@ pub struct WorkloadMonitor {
     /// add, no registry probe).
     writes_total: Arc<Counter>,
     storage_total: Arc<Counter>,
-    /// Counter values at the last `take_period`, so period reports are
-    /// deltas over monotone series.
-    base_tenant: FastMap<TenantId, u64>,
-    base_shard: FastMap<ShardId, u64>,
-    base_node: FastMap<NodeId, u64>,
-    base_total: u64,
+    /// Striped per-tenant handle cache (tenant ids are unbounded).
+    tenant_handles: Vec<RwLock<FastMap<u64, TenantHandles>>>,
+    /// Dense handle caches indexed by shard / node id (ids are small and
+    /// contiguous; a read-locked `Vec` index is the whole lookup).
+    shard_handles: RwLock<Vec<Arc<Counter>>>,
+    node_handles: RwLock<Vec<Arc<Counter>>>,
+    baselines: Mutex<Baselines>,
 }
 
 impl Default for WorkloadMonitor {
@@ -99,10 +128,12 @@ impl WorkloadMonitor {
             registry,
             writes_total,
             storage_total,
-            base_tenant: fast_map(),
-            base_shard: fast_map(),
-            base_node: fast_map(),
-            base_total: 0,
+            tenant_handles: (0..TENANT_STRIPES)
+                .map(|_| RwLock::new(fast_map()))
+                .collect(),
+            shard_handles: RwLock::new(Vec::new()),
+            node_handles: RwLock::new(Vec::new()),
+            baselines: Mutex::new(Baselines::default()),
         }
     }
 
@@ -112,42 +143,111 @@ impl WorkloadMonitor {
     }
 
     /// Records one write routed to `shard` on `node`, adding `bytes` to the
-    /// tenant's storage.
-    pub fn record_write(&mut self, tenant: TenantId, shard: ShardId, node: NodeId, bytes: u64) {
-        self.registry
-            .add(TENANT_WRITES, Labels::tenant(tenant.0), 1);
-        self.registry.add(SHARD_WRITES, Labels::shard(shard.0), 1);
-        self.registry.add(NODE_WRITES, Labels::node(node.0), 1);
+    /// tenant's storage. Safe to call concurrently from any thread; the
+    /// steady state is six relaxed atomic adds behind read-locked handle
+    /// caches.
+    pub fn record_write(&self, tenant: TenantId, shard: ShardId, node: NodeId, bytes: u64) {
+        self.record_tenant(tenant, bytes);
+        Self::add_indexed(
+            &self.shard_handles,
+            &self.registry,
+            SHARD_WRITES,
+            Labels::shard,
+            shard.0,
+        );
+        Self::add_indexed(
+            &self.node_handles,
+            &self.registry,
+            NODE_WRITES,
+            Labels::node,
+            node.0,
+        );
         self.writes_total.inc();
-        self.registry
-            .add(TENANT_STORAGE, Labels::tenant(tenant.0), bytes);
         self.storage_total.add(bytes);
+    }
+
+    /// Bumps the tenant's write + storage counters through the striped
+    /// handle cache, probing the registry only on first sight.
+    fn record_tenant(&self, tenant: TenantId, bytes: u64) {
+        // splitmix-style finalizer so consecutive tenant ids land on
+        // different stripes.
+        let mut x = tenant.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 32;
+        let stripe = &self.tenant_handles[(x as usize) & (TENANT_STRIPES - 1)];
+        {
+            let map = stripe.read().expect("tenant stripe poisoned");
+            if let Some(h) = map.get(&tenant.0) {
+                h.writes.inc();
+                h.storage.add(bytes);
+                return;
+            }
+        }
+        // First sight of this tenant on this stripe: resolve the handles
+        // outside the write lock (the registry is itself thread-safe and
+        // dedups by name+labels, so racing resolvers get the same
+        // counters).
+        let writes = self
+            .registry
+            .counter(TENANT_WRITES, Labels::tenant(tenant.0));
+        let storage = self
+            .registry
+            .counter(TENANT_STORAGE, Labels::tenant(tenant.0));
+        let mut map = stripe.write().expect("tenant stripe poisoned");
+        let h = map
+            .entry(tenant.0)
+            .or_insert(TenantHandles { writes, storage });
+        h.writes.inc();
+        h.storage.add(bytes);
+    }
+
+    /// Bumps a dense-id counter (shard/node) through `cache`, growing it
+    /// under the write lock on first sight of a new id.
+    fn add_indexed(
+        cache: &RwLock<Vec<Arc<Counter>>>,
+        registry: &MetricsRegistry,
+        name: &'static str,
+        labels: impl Fn(u32) -> Labels,
+        idx: u32,
+    ) {
+        {
+            let v = cache.read().expect("handle cache poisoned");
+            if let Some(c) = v.get(idx as usize) {
+                c.inc();
+                return;
+            }
+        }
+        let mut v = cache.write().expect("handle cache poisoned");
+        while v.len() <= idx as usize {
+            let next = v.len() as u32;
+            v.push(registry.counter(name, labels(next)));
+        }
+        v[idx as usize].inc();
     }
 
     /// The running period's counters as deltas over `base`, without
     /// touching the baselines.
-    fn period_since_base(&self) -> PeriodReport {
+    fn period_since_base(&self, base: &Baselines) -> PeriodReport {
         let mut report = PeriodReport {
-            total: self.writes_total.get() - self.base_total,
+            total: self.writes_total.get() - base.total,
             ..PeriodReport::default()
         };
         for (labels, v) in self.registry.counters_with(TENANT_WRITES) {
             let tenant = TenantId(labels.tenant.expect("tenant-labeled series"));
-            let delta = v - self.base_tenant.get(&tenant).copied().unwrap_or(0);
+            let delta = v - base.tenant.get(&tenant).copied().unwrap_or(0);
             if delta > 0 {
                 report.per_tenant.insert(tenant, delta);
             }
         }
         for (labels, v) in self.registry.counters_with(SHARD_WRITES) {
             let shard = ShardId(labels.shard.expect("shard-labeled series"));
-            let delta = v - self.base_shard.get(&shard).copied().unwrap_or(0);
+            let delta = v - base.shard.get(&shard).copied().unwrap_or(0);
             if delta > 0 {
                 report.per_shard.insert(shard, delta);
             }
         }
         for (labels, v) in self.registry.counters_with(NODE_WRITES) {
             let node = NodeId(labels.node.expect("node-labeled series"));
-            let delta = v - self.base_node.get(&node).copied().unwrap_or(0);
+            let delta = v - base.node.get(&node).copied().unwrap_or(0);
             if delta > 0 {
                 report.per_node.insert(node, delta);
             }
@@ -158,28 +258,31 @@ impl WorkloadMonitor {
     /// Harvests the current period's counters, resetting the period for
     /// the next harvest (Algorithm 1 line 13: "collect periodic write
     /// throughput"). The underlying counters stay monotone; only the
-    /// baselines move.
-    pub fn take_period(&mut self) -> PeriodReport {
-        let report = self.period_since_base();
+    /// baselines move. Concurrent harvesters serialize on the baselines
+    /// mutex; concurrent recorders are unaffected.
+    pub fn take_period(&self) -> PeriodReport {
+        let mut base = self.baselines.lock().expect("baselines poisoned");
+        let report = self.period_since_base(&base);
         for (labels, v) in self.registry.counters_with(TENANT_WRITES) {
-            self.base_tenant
+            base.tenant
                 .insert(TenantId(labels.tenant.expect("tenant-labeled series")), v);
         }
         for (labels, v) in self.registry.counters_with(SHARD_WRITES) {
-            self.base_shard
+            base.shard
                 .insert(ShardId(labels.shard.expect("shard-labeled series")), v);
         }
         for (labels, v) in self.registry.counters_with(NODE_WRITES) {
-            self.base_node
+            base.node
                 .insert(NodeId(labels.node.expect("node-labeled series")), v);
         }
-        self.base_total = self.writes_total.get();
+        base.total = self.writes_total.get();
         report
     }
 
     /// Snapshot of the running period (deltas since the last harvest).
     pub fn current(&self) -> PeriodReport {
-        self.period_since_base()
+        let base = self.baselines.lock().expect("baselines poisoned");
+        self.period_since_base(&base)
     }
 
     /// Storage proportion `r = S(k) / ΣS` (Algorithm 1 line 7).
@@ -209,7 +312,7 @@ impl WorkloadMonitor {
 
     /// Bulk-loads a storage snapshot (used to seed the initialization phase
     /// from an existing cluster's state).
-    pub fn load_storage(&mut self, sizes: impl IntoIterator<Item = (TenantId, u64)>) {
+    pub fn load_storage(&self, sizes: impl IntoIterator<Item = (TenantId, u64)>) {
         for (k, b) in sizes {
             self.registry.add(TENANT_STORAGE, Labels::tenant(k.0), b);
             self.storage_total.add(b);
@@ -223,7 +326,7 @@ mod tests {
 
     #[test]
     fn records_and_harvests_periods() {
-        let mut m = WorkloadMonitor::new();
+        let m = WorkloadMonitor::new();
         m.record_write(TenantId(1), ShardId(0), NodeId(0), 100);
         m.record_write(TenantId(1), ShardId(1), NodeId(0), 100);
         m.record_write(TenantId(2), ShardId(2), NodeId(1), 50);
@@ -239,7 +342,7 @@ mod tests {
 
     #[test]
     fn top_tenants_ranked() {
-        let mut m = WorkloadMonitor::new();
+        let m = WorkloadMonitor::new();
         for _ in 0..5 {
             m.record_write(TenantId(7), ShardId(0), NodeId(0), 1);
         }
@@ -260,7 +363,7 @@ mod tests {
 
     #[test]
     fn load_storage_seeds_initialization() {
-        let mut m = WorkloadMonitor::new();
+        let m = WorkloadMonitor::new();
         m.load_storage([(TenantId(1), 900), (TenantId(2), 100)]);
         assert!((m.storage_proportion(TenantId(1)) - 0.9).abs() < 1e-12);
         assert_eq!(m.storage_total(), 1000);
@@ -268,7 +371,7 @@ mod tests {
 
     #[test]
     fn counters_stay_monotone_across_harvests() {
-        let mut m = WorkloadMonitor::new();
+        let m = WorkloadMonitor::new();
         m.record_write(TenantId(1), ShardId(0), NodeId(0), 10);
         assert_eq!(m.take_period().total, 1);
         m.record_write(TenantId(1), ShardId(0), NodeId(0), 10);
@@ -286,9 +389,36 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_recording_totals_match_sequential_sum() {
+        let m = WorkloadMonitor::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let m = &m;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        m.record_write(
+                            TenantId(t % 3),
+                            ShardId((i % 4) as u32),
+                            NodeId((i % 2) as u32),
+                            8,
+                        );
+                    }
+                });
+            }
+        });
+        let p = m.take_period();
+        assert_eq!(p.total, 2000);
+        assert_eq!(p.per_tenant.values().sum::<u64>(), 2000);
+        assert_eq!(p.per_shard.values().sum::<u64>(), 2000);
+        assert_eq!(p.per_node.values().sum::<u64>(), 2000);
+        assert_eq!(m.storage_total(), 16_000);
+        assert_eq!(m.current().total, 0, "harvest reset the period");
+    }
+
+    #[test]
     fn shared_registry_exposes_monitor_series() {
         let registry = Arc::new(MetricsRegistry::new());
-        let mut m = WorkloadMonitor::with_registry(Arc::clone(&registry));
+        let m = WorkloadMonitor::with_registry(Arc::clone(&registry));
         m.record_write(TenantId(3), ShardId(1), NodeId(0), 64);
         assert_eq!(registry.counter_value(WRITES, Labels::none()), 1);
         assert_eq!(

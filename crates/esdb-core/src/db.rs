@@ -23,14 +23,15 @@ use esdb_routing::{
 };
 use esdb_storage::{ShardConfig, ShardEngine, ShardSnapshot, SnapshotCell, WriteFault};
 use esdb_telemetry::{
-    Counter, Histogram, Labels, MetricsRegistry, QueryTrace, SlowQueryEntry, Telemetry,
+    Counter, Gauge, Histogram, Labels, MetricsRegistry, QueryTrace, SlowQueryEntry, Telemetry,
     TelemetryConfig, TelemetrySnapshot,
 };
 use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
 /// Which routing policy the instance uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -262,6 +263,13 @@ struct ShardSlot {
     /// the query path records sub-attribute usage here lock-free with
     /// respect to the engine).
     attr_tracker: Arc<Mutex<AttrFrequencyTracker>>,
+    /// The shard's group-commit queue. Writers push their op group here,
+    /// then race for the engine lock: the winner (the *leader*) drains
+    /// the queue and applies everything pending under its single lock
+    /// acquisition; losers block on their group's completion cell. Under
+    /// hot-shard contention this converts lock waiting into batching —
+    /// exactly where Zipf skew concentrates load.
+    write_queue: Mutex<VecDeque<PendingGroup>>,
     /// Cumulative microseconds operations spent serving this shard —
     /// write-lock hold time plus lock-free query execution time — the
     /// per-shard busy counter surfaced through
@@ -277,6 +285,7 @@ impl ShardSlot {
             engine: RwLock::new(engine),
             snapshots,
             attr_tracker,
+            write_queue: Mutex::new(VecDeque::new()),
             busy_micros: AtomicU64::new(0),
         })
     }
@@ -300,6 +309,93 @@ pub struct BatchApplied {
     pub total: usize,
     /// `(shard, operations applied to it)`, ascending by shard.
     pub per_shard: Vec<(ShardId, usize)>,
+}
+
+/// One writer's submitted op group, parked in a shard's commit queue
+/// until a leader applies it.
+struct PendingGroup {
+    ops: Vec<WriteOp>,
+    /// `true` for batch groups (legacy `write_batch` semantics: the
+    /// first failing op stops its own shard's group); `false` for
+    /// single-op submissions, where every op is independent.
+    stop_on_error: bool,
+    done: Arc<GroupDone>,
+}
+
+/// Outcome of one submitted group, set exactly once by the leader that
+/// applied it and taken exactly once by the submitter.
+struct GroupOutcome {
+    /// Ops applied (translog append + memory) out of the group.
+    applied: usize,
+    /// The group's first error, if any op failed.
+    first_err: Option<EsdbError>,
+}
+
+/// Completion cell a submitter blocks on while some leader applies its
+/// group. Built on `std::sync` primitives (the waiters need a condvar);
+/// the wait loops on a short timeout so a submitter whose push raced
+/// past a finishing leader's final drain re-contends for the engine
+/// lock instead of sleeping forever.
+#[derive(Default)]
+struct GroupDone {
+    state: StdMutex<Option<GroupOutcome>>,
+    cv: Condvar,
+}
+
+/// How long a colliding writer sleeps before re-checking the engine
+/// lock. Long enough to let a leader drain a burst, short enough that
+/// the push-after-final-drain race costs microseconds, not a stall.
+const GROUP_WAIT: Duration = Duration::from_micros(100);
+
+impl GroupDone {
+    fn set(&self, out: GroupOutcome) {
+        *self.state.lock().expect("group cell poisoned") = Some(out);
+        self.cv.notify_all();
+    }
+
+    fn try_take(&self) -> Option<GroupOutcome> {
+        self.state.lock().expect("group cell poisoned").take()
+    }
+
+    /// Blocks until completion or the retry timeout; returns the outcome
+    /// if it arrived.
+    fn wait(&self) -> Option<GroupOutcome> {
+        let mut guard = self.state.lock().expect("group cell poisoned");
+        if let Some(out) = guard.take() {
+            return Some(out);
+        }
+        let (mut guard, _) = self
+            .cv
+            .wait_timeout(guard, GROUP_WAIT)
+            .expect("group cell poisoned");
+        guard.take()
+    }
+}
+
+/// Everything the shared (`&self`) write pipeline needs, held in one
+/// `Arc` so [`Esdb`] and every [`EsdbWriter`] clone drive the identical
+/// path: same shards and commit queues, same router and rules, same
+/// monitor/balancer, same atomic accounting.
+struct WriteState {
+    shards: Vec<Arc<ShardSlot>>,
+    n_shards: u32,
+    router: Arc<Router>,
+    rules: Arc<RwLock<RuleList>>,
+    monitor: Arc<WorkloadMonitor>,
+    /// The balancing pass is single-entrant (one writer claims each
+    /// epoch), but the mutex keeps the type honest about it.
+    balancer: Mutex<LoadBalancer>,
+    clock: SharedClock,
+    /// Worker-node count shards map onto (from the balancer's offset
+    /// policy, which models consecutive shards on consecutive nodes).
+    node_count: u32,
+    balance_every_writes: u64,
+    dynamic_routing: bool,
+    writes_total: AtomicU64,
+    write_errors_total: AtomicU64,
+    writes_since_balance: AtomicU64,
+    telemetry: Arc<Telemetry>,
+    timers: Option<CoreTimers>,
 }
 
 /// Key of one tier-2 entry: `(shard, search generation, query
@@ -327,6 +423,23 @@ struct CoreTimers {
     write_total: Arc<Histogram>,
     batch_total: Arc<Histogram>,
     write_errors: Arc<Counter>,
+    /// Ops a leader applied per commit-queue drain — the group-commit
+    /// effectiveness signal (1 = no coalescing; grows with hot-shard
+    /// contention).
+    group_size: Arc<Histogram>,
+    /// Single-op drains (the uncontended common case) accumulate here
+    /// with one relaxed add instead of a full histogram record; the
+    /// backlog is flushed into `group_size` as size-1 observations at
+    /// snapshot time, so the histogram's sum/count stay exact.
+    solo_drains: Arc<AtomicU64>,
+    /// Nanoseconds a contended submission blocked, from its first
+    /// failed engine-lock acquisition until it either won the lock
+    /// (leaders) or saw its group completed by another leader
+    /// (followers). Uncontended submissions record nothing — the fast
+    /// path stays free of per-op clock reads.
+    lock_wait: Arc<Histogram>,
+    /// Per-shard commit-queue depth, sampled by `telemetry_snapshot`.
+    queue_depth: Vec<Arc<Gauge>>,
     block_queries: Arc<Counter>,
     scalar_queries: Arc<Counter>,
     blocks_scanned: Arc<Counter>,
@@ -335,13 +448,19 @@ struct CoreTimers {
 }
 
 impl CoreTimers {
-    fn new(registry: &MetricsRegistry) -> Self {
+    fn new(registry: &MetricsRegistry, n_shards: u32) -> Self {
         CoreTimers {
             query_total: registry.histogram("esdb_query_total_ns", Labels::none()),
             agg_total: registry.histogram("esdb_aggregate_total_ns", Labels::none()),
             write_total: registry.histogram("esdb_write_total_ns", Labels::none()),
             batch_total: registry.histogram("esdb_write_batch_ns", Labels::none()),
             write_errors: registry.counter("esdb_write_errors_total", Labels::none()),
+            group_size: registry.histogram("esdb_write_group_size", Labels::none()),
+            solo_drains: Arc::new(AtomicU64::new(0)),
+            lock_wait: registry.histogram("esdb_write_lock_wait_ns", Labels::none()),
+            queue_depth: (0..n_shards)
+                .map(|s| registry.gauge("esdb_write_queue_depth", Labels::shard(s)))
+                .collect(),
             block_queries: registry.counter("esdb_block_exec_queries_total", Labels::none()),
             scalar_queries: registry.counter("esdb_scalar_exec_queries_total", Labels::none()),
             blocks_scanned: registry
@@ -384,12 +503,11 @@ pub struct Esdb {
     executor: Executor,
     rules: Arc<RwLock<RuleList>>,
     router: Arc<Router>,
-    monitor: WorkloadMonitor,
-    balancer: LoadBalancer,
+    /// The shared (`&self`) write pipeline — shards, commit queues,
+    /// monitor/balancer, atomic accounting — also held by every
+    /// [`EsdbWriter`] clone.
+    write: Arc<WriteState>,
     clock: SharedClock,
-    writes_since_balance: u64,
-    writes_total: u64,
-    write_errors_total: u64,
     queries_total: Arc<AtomicU64>,
     block_queries_total: Arc<AtomicU64>,
     scalar_queries_total: Arc<AtomicU64>,
@@ -450,10 +568,29 @@ impl Esdb {
         let request_cache = Arc::new(ShardedCache::new(config.request_cache_entries.max(16)));
         // The monitor shares the telemetry registry, so the balancing
         // loop's inputs surface as `esdb_monitor_*` series for free.
-        let monitor = WorkloadMonitor::with_registry(Arc::clone(telemetry.registry()));
+        let monitor = Arc::new(WorkloadMonitor::with_registry(Arc::clone(
+            telemetry.registry(),
+        )));
         let timers = telemetry
             .enabled()
-            .then(|| CoreTimers::new(telemetry.registry()));
+            .then(|| CoreTimers::new(telemetry.registry(), config.n_shards));
+        let write = Arc::new(WriteState {
+            shards: shards.clone(),
+            n_shards: config.n_shards,
+            router: Arc::clone(&router),
+            rules: Arc::clone(&rules),
+            monitor,
+            balancer: Mutex::new(balancer),
+            clock: clock.clone(),
+            node_count: config.balancer.offset.node_count.max(1),
+            balance_every_writes: config.balance_every_writes,
+            dynamic_routing: matches!(config.routing, RoutingMode::Dynamic),
+            writes_total: AtomicU64::new(0),
+            write_errors_total: AtomicU64::new(0),
+            writes_since_balance: AtomicU64::new(0),
+            telemetry: Arc::clone(&telemetry),
+            timers: timers.clone(),
+        });
         let db = Esdb {
             schema,
             shards,
@@ -462,12 +599,8 @@ impl Esdb {
             executor,
             rules,
             router,
-            monitor,
-            balancer,
+            write,
             clock,
-            writes_since_balance: 0,
-            writes_total: 0,
-            write_errors_total: 0,
             queries_total: Arc::new(AtomicU64::new(0)),
             block_queries_total: Arc::new(AtomicU64::new(0)),
             scalar_queries_total: Arc::new(AtomicU64::new(0)),
@@ -528,140 +661,20 @@ impl Esdb {
     /// lock — groups for different shards run concurrently on the
     /// executor. Returns how many operations each shard received.
     pub fn write_batch(&mut self, batcher: &mut crate::WriteBatcher) -> Result<BatchApplied> {
-        let t0 = self.timers.as_ref().map(|_| Instant::now());
-        let trace = self.telemetry.should_trace().then(QueryTrace::new);
-        let ops = batcher.flush();
-        // Route every op up front; grouping preserves arrival order
-        // within each shard, which is all replay semantics require
-        // (cross-shard order carries no meaning once routed).
-        let mut groups: Vec<(ShardId, Vec<WriteOp>)> = Vec::new();
-        {
-            let _span = trace.as_ref().map(|t| t.span("batch_group", 0));
-            for op in ops {
-                let (tenant, record, created_at) = op.routing();
-                let shard = self.router.route(tenant, record, created_at);
-                match groups.binary_search_by_key(&shard, |(s, _)| *s) {
-                    Ok(i) => groups[i].1.push(op),
-                    Err(i) => groups.insert(i, (shard, vec![op])),
-                }
-            }
-        }
-        let trace_ref = trace.as_ref();
-        // Each group applies as far as it can; a failing op stops its own
-        // shard's group but other shards still land and are accounted.
-        let results: Vec<(usize, Option<EsdbError>)> =
-            self.executor.map(&groups, |_, (shard, ops)| {
-                let _span = trace_ref.map(|t| t.span_for_shard("apply", 0, Some(shard.0)));
-                self.shards[shard.index()].with_write(|engine| {
-                    for (i, op) in ops.iter().enumerate() {
-                        if let Err(e) = engine.apply(op) {
-                            return (i, Some(e));
-                        }
-                    }
-                    (ops.len(), None)
-                })
-            });
-        let mut applied = BatchApplied::default();
-        let mut first_err = None;
-        let node_count = self.node_count();
-        for ((shard, ops), (n, err)) in groups.iter().zip(results) {
-            applied.total += n;
-            applied.per_shard.push((*shard, n));
-            // Only the ops that actually applied count toward the monitor
-            // and the write totals.
-            for op in &ops[..n] {
-                let (tenant, _, _) = op.routing();
-                self.monitor.record_write(
-                    tenant,
-                    *shard,
-                    NodeId(shard.0 % node_count),
-                    op.doc.approx_size() as u64,
-                );
-            }
-            self.writes_total += n as u64;
-            self.writes_since_balance += n as u64;
-            if let Some(e) = err {
-                self.write_errors_total += 1;
-                if let Some(t) = &self.timers {
-                    t.write_errors.inc();
-                }
-                if first_err.is_none() {
-                    first_err = Some(e);
-                }
-            }
-        }
-        if let (Some(t), Some(t0)) = (&self.timers, t0) {
-            t.batch_total.record(elapsed_ns(t0));
-        }
-        if let Some(trace) = trace {
-            self.telemetry
-                .record_stages("esdb_write_stage_ns", &trace.into_samples());
-        }
-        self.maybe_rebalance();
-        // The first error (by shard order) surfaces only after every
-        // group's outcome has been counted — no silent partial batches.
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(applied),
-        }
+        write_batch_shared(&self.write, &self.executor, batcher.flush())
     }
 
     /// Applies a raw write operation.
     pub fn write(&mut self, op: WriteOp) -> Result<ShardId> {
-        let t0 = self.timers.as_ref().map(|_| Instant::now());
-        let (tenant, record, created_at) = op.routing();
-        let shard = self.router.route(tenant, record, created_at);
-        let bytes = op.doc.approx_size() as u64;
-        if let Err(e) = self.shards[shard.index()].with_write(|engine| engine.apply(&op)) {
-            self.write_errors_total += 1;
-            if let Some(t) = &self.timers {
-                t.write_errors.inc();
-            }
-            return Err(e);
-        }
-        let node_count = self.node_count();
-        self.monitor
-            .record_write(tenant, shard, NodeId(shard.0 % node_count), bytes);
-        self.writes_total += 1;
-        self.writes_since_balance += 1;
-        if let (Some(t), Some(t0)) = (&self.timers, t0) {
-            t.write_total.record(elapsed_ns(t0));
-        }
-        self.maybe_rebalance();
-        Ok(shard)
-    }
-
-    /// The worker-node count shards map onto (from the balancer's offset
-    /// policy, which models consecutive shards on consecutive nodes).
-    fn node_count(&self) -> u32 {
-        self.config.balancer.offset.node_count.max(1)
-    }
-
-    fn maybe_rebalance(&mut self) {
-        if self.config.balance_every_writes > 0
-            && self.writes_since_balance >= self.config.balance_every_writes
-        {
-            self.rebalance();
-        }
+        write_one(&self.write, op)
     }
 
     /// Runs one balancing pass now (Algorithm 1 runtime phase): detect
     /// hotspots in the monitor window, commit grow-rules effective
     /// immediately for *future* records.
     pub fn rebalance(&mut self) -> usize {
-        self.writes_since_balance = 0;
-        if !matches!(self.config.routing, RoutingMode::Dynamic) {
-            return 0;
-        }
-        let period = self.monitor.take_period();
-        let proposals = self.balancer.on_period(&period);
-        let committed = proposals.len();
-        if committed > 0 {
-            let t = self.clock.now();
-            let mut rules = self.rules.write();
-            LoadBalancer::commit_direct(&proposals, &mut rules, t);
-        }
-        committed
+        self.write.writes_since_balance.store(0, Ordering::Release);
+        rebalance_pass(&self.write)
     }
 
     /// Makes all buffered writes searchable (near-real-time refresh).
@@ -847,6 +860,19 @@ impl Esdb {
         }
     }
 
+    /// A clone-able write handle sharing this instance's shards, commit
+    /// queues, router, workload monitor, and telemetry. Writer clones
+    /// ingest concurrently from other threads — different shards in
+    /// parallel, same-shard collisions coalesced through the per-shard
+    /// group-commit queue — while this instance (and any [`EsdbReader`])
+    /// keeps operating. See [`EsdbWriter`].
+    pub fn writer(&self) -> EsdbWriter {
+        EsdbWriter {
+            state: Arc::clone(&self.write),
+            executor: self.executor.clone(),
+        }
+    }
+
     /// The borrowed bundle [`run_query`] executes against.
     fn read_path(&self) -> ReadPath<'_> {
         ReadPath {
@@ -886,8 +912,8 @@ impl Esdb {
     pub fn stats(&self) -> EsdbStats {
         let mut s = EsdbStats {
             rules: self.rule_count(),
-            writes: self.writes_total,
-            write_errors: self.write_errors_total,
+            writes: self.write.writes_total.load(Ordering::Relaxed),
+            write_errors: self.write.write_errors_total.load(Ordering::Relaxed),
             queries: self.queries_total.load(Ordering::Relaxed),
             block_queries: self.block_queries_total.load(Ordering::Relaxed),
             scalar_queries: self.scalar_queries_total.load(Ordering::Relaxed),
@@ -976,6 +1002,20 @@ impl Esdb {
                     .gauge("esdb_shard_busy_micros", Labels::shard(i as u32))
                     .set(slot.busy_micros.load(Ordering::Relaxed) as i64);
             }
+            // The write hot path avoids per-op telemetry work: commit-
+            // queue depths are sampled here rather than on every
+            // enqueue, and single-op drains accumulate in a plain
+            // counter that is flushed into the group-size histogram now,
+            // keeping its sum/count exact at snapshot granularity.
+            if let Some(t) = &self.timers {
+                for (i, slot) in self.shards.iter().enumerate() {
+                    t.queue_depth[i].set(slot.write_queue.lock().len() as i64);
+                }
+                let solo = t.solo_drains.swap(0, Ordering::Relaxed);
+                if solo > 0 {
+                    t.group_size.record_n(1, solo);
+                }
+            }
             // Share of queries the block-at-a-time executor served, as a
             // percentage (gauges are integral).
             let block = self.block_queries_total.load(Ordering::Relaxed);
@@ -994,6 +1034,318 @@ impl Esdb {
             .iter()
             .map(|slot| slot.engine.read().stats().live_docs)
             .collect()
+    }
+}
+
+/// Applies one write operation through the shared pipeline: route,
+/// submit a one-op group to the shard's commit queue, surface the
+/// per-op error exactly as the legacy exclusive path did. The single-op
+/// twin of [`write_batch_shared`] — same grouped apply, same
+/// monitor/stats accounting (both live in [`drain_write_queue`]).
+fn write_one(ws: &WriteState, op: WriteOp) -> Result<ShardId> {
+    let t0 = ws.timers.as_ref().map(|_| Instant::now());
+    let (tenant, record, created_at) = op.routing();
+    let shard = ws.router.route(tenant, record, created_at);
+    let out = submit_group(ws, shard, vec![op], false);
+    if let Some(e) = out.first_err {
+        return Err(e);
+    }
+    if let (Some(t), Some(t0)) = (&ws.timers, t0) {
+        t.write_total.record(elapsed_ns(t0));
+    }
+    maybe_rebalance_shared(ws);
+    Ok(shard)
+}
+
+/// Routes a flushed batch into per-shard groups and submits each group
+/// through the shared pipeline — groups for different shards run
+/// concurrently on the executor, each colliding with (and coalescing
+/// into) whatever other writers are hitting its shard.
+fn write_batch_shared(
+    ws: &WriteState,
+    executor: &Executor,
+    ops: Vec<WriteOp>,
+) -> Result<BatchApplied> {
+    let t0 = ws.timers.as_ref().map(|_| Instant::now());
+    let trace = ws.telemetry.should_trace().then(QueryTrace::new);
+    // Route every op up front into a pre-sized bucket table indexed by
+    // shard — O(ops) assembly no matter how many shards are hit.
+    // Grouping preserves arrival order within each shard, which is all
+    // replay semantics require (cross-shard order carries no meaning
+    // once routed).
+    let mut buckets: Vec<Vec<WriteOp>> = Vec::new();
+    buckets.resize_with(ws.n_shards as usize, Vec::new);
+    {
+        let _span = trace.as_ref().map(|t| t.span("batch_group", 0));
+        for op in ops {
+            let (tenant, record, created_at) = op.routing();
+            let shard = ws.router.route(tenant, record, created_at);
+            buckets[shard.index()].push(op);
+        }
+    }
+    // `Executor::map` hands the closure `&T`, but each group must be
+    // *moved* into its submission; a take-cell per group bridges the
+    // gap. Bucket order keeps `per_shard` ascending by shard.
+    let groups: Vec<(ShardId, Mutex<Option<Vec<WriteOp>>>)> = buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, ops)| !ops.is_empty())
+        .map(|(s, ops)| (ShardId(s as u32), Mutex::new(Some(ops))))
+        .collect();
+    let trace_ref = trace.as_ref();
+    // Each group applies as far as it can; a failing op stops its own
+    // shard's group but other shards still land and are accounted.
+    let outcomes: Vec<GroupOutcome> = executor.map(&groups, |_, (shard, cell)| {
+        let _span = trace_ref.map(|t| t.span_for_shard("apply", 0, Some(shard.0)));
+        let ops = cell.lock().take().expect("each group is submitted once");
+        submit_group(ws, *shard, ops, true)
+    });
+    let mut applied = BatchApplied::default();
+    let mut first_err = None;
+    for ((shard, _), out) in groups.iter().zip(outcomes) {
+        applied.total += out.applied;
+        applied.per_shard.push((*shard, out.applied));
+        if first_err.is_none() {
+            first_err = out.first_err;
+        }
+    }
+    if let (Some(t), Some(t0)) = (&ws.timers, t0) {
+        t.batch_total.record(elapsed_ns(t0));
+    }
+    if let Some(trace) = trace {
+        ws.telemetry
+            .record_stages("esdb_write_stage_ns", &trace.into_samples());
+    }
+    maybe_rebalance_shared(ws);
+    // The first error (by shard order) surfaces only after every
+    // group's outcome has been counted — no silent partial batches.
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(applied),
+    }
+}
+
+/// Submits one op group to `shard`'s commit queue and drives it to
+/// completion. The submitter parks its group, then loops: outcome
+/// ready → done; engine lock free → become the leader and drain the
+/// queue (its own group included); otherwise block briefly on the
+/// completion cell and re-check. The timeout covers the race where a
+/// push lands just after a finishing leader's final drain — the waiter
+/// wakes and wins the now-free lock instead of sleeping forever.
+fn submit_group(
+    ws: &WriteState,
+    shard: ShardId,
+    ops: Vec<WriteOp>,
+    stop_on_error: bool,
+) -> GroupOutcome {
+    let slot = &ws.shards[shard.index()];
+    let done = Arc::new(GroupDone::default());
+    {
+        let mut q = slot.write_queue.lock();
+        q.push_back(PendingGroup {
+            ops,
+            stop_on_error,
+            done: Arc::clone(&done),
+        });
+    }
+    let mut wait_t0: Option<Instant> = None;
+    loop {
+        if let Some(out) = done.try_take() {
+            record_lock_wait(ws, &mut wait_t0);
+            return out;
+        }
+        if let Some(mut engine) = slot.engine.try_write() {
+            record_lock_wait(ws, &mut wait_t0);
+            let t0 = Instant::now();
+            drain_write_queue(ws, shard, &mut engine);
+            slot.busy_micros
+                .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            drop(engine);
+            // Our group was either still parked (we just applied it) or
+            // a previous leader — which held the lock until it completed
+            // every group it took — already set the cell.
+            return done.try_take().expect("leader drained its own group");
+        }
+        // First failed acquisition: the submission is contended, start
+        // the wait clock. Uncontended submissions never read the clock,
+        // keeping the telemetry-on fast path free of per-op timing.
+        if wait_t0.is_none() {
+            wait_t0 = ws.timers.as_ref().map(|_| Instant::now());
+        }
+        if let Some(out) = done.wait() {
+            record_lock_wait(ws, &mut wait_t0);
+            return out;
+        }
+    }
+}
+
+/// Charges a contended submission's block-to-resolution wait to the
+/// lock-wait histogram, at most once (`take` empties the cell).
+fn record_lock_wait(ws: &WriteState, wait_t0: &mut Option<Instant>) {
+    if let (Some(t), Some(t0)) = (&ws.timers, wait_t0.take()) {
+        t.lock_wait.record(elapsed_ns(t0));
+    }
+}
+
+/// Drains `shard`'s commit queue under the caller's engine-lock hold:
+/// applies every parked group (one translog append batch per group),
+/// does the full monitor/stats accounting, and completes each
+/// submitter's cell. Loops until the queue is observed empty, so every
+/// writer that parked behind this leader is served by the same lock
+/// acquisition — hot-shard contention becomes batching.
+fn drain_write_queue(ws: &WriteState, shard: ShardId, engine: &mut ShardEngine) {
+    let slot = &ws.shards[shard.index()];
+    loop {
+        let groups: Vec<PendingGroup> = slot.write_queue.lock().drain(..).collect();
+        if groups.is_empty() {
+            return;
+        }
+        if let Some(t) = &ws.timers {
+            let total: u64 = groups.iter().map(|g| g.ops.len() as u64).sum();
+            if total == 1 {
+                // Uncontended single-op drain: one relaxed add; flushed
+                // into the histogram lazily by `telemetry_snapshot`.
+                t.solo_drains.fetch_add(1, Ordering::Relaxed);
+            } else {
+                t.group_size.record(total);
+            }
+        }
+        for group in groups {
+            let results = engine.apply_group(&group.ops, group.stop_on_error);
+            let mut applied = 0usize;
+            let mut first_err = None;
+            // Only the ops that actually applied count toward the
+            // monitor and the write totals; a stopped group's
+            // unattempted tail counts toward neither total.
+            for (op, r) in group.ops.iter().zip(results) {
+                match r {
+                    Ok(()) => {
+                        applied += 1;
+                        let (tenant, _, _) = op.routing();
+                        ws.monitor.record_write(
+                            tenant,
+                            shard,
+                            NodeId(shard.0 % ws.node_count),
+                            op.doc.approx_size() as u64,
+                        );
+                    }
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            ws.writes_total.fetch_add(applied as u64, Ordering::Relaxed);
+            ws.writes_since_balance
+                .fetch_add(applied as u64, Ordering::Relaxed);
+            if first_err.is_some() {
+                ws.write_errors_total.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = &ws.timers {
+                    t.write_errors.inc();
+                }
+            }
+            group.done.set(GroupOutcome { applied, first_err });
+        }
+    }
+}
+
+/// Claims a balancing epoch if one is due: the writer whose
+/// compare-exchange resets the counter runs the pass; everyone else
+/// carries on immediately. At most one writer balances per epoch and no
+/// writer ever waits on another's pass.
+fn maybe_rebalance_shared(ws: &WriteState) {
+    if ws.balance_every_writes == 0 {
+        return;
+    }
+    loop {
+        let n = ws.writes_since_balance.load(Ordering::Acquire);
+        if n < ws.balance_every_writes {
+            return;
+        }
+        if ws
+            .writes_since_balance
+            .compare_exchange(n, 0, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+        {
+            rebalance_pass(ws);
+            return;
+        }
+    }
+}
+
+/// One balancing pass (Algorithm 1 runtime phase): harvest the monitor
+/// window, ask the balancer for grow-rules, commit them effective now
+/// for *future* records. Takes no engine lock — writers keep flowing
+/// while rules change under them.
+fn rebalance_pass(ws: &WriteState) -> usize {
+    if !ws.dynamic_routing {
+        return 0;
+    }
+    let period = ws.monitor.take_period();
+    let proposals = ws.balancer.lock().on_period(&period);
+    let committed = proposals.len();
+    if committed > 0 {
+        let t = ws.clock.now();
+        let mut rules = ws.rules.write();
+        LoadBalancer::commit_direct(&proposals, &mut rules, t);
+    }
+    committed
+}
+
+/// A clone-able write handle over a shared [`Esdb`] instance — the
+/// write-side twin of [`EsdbReader`].
+///
+/// Every clone shares the same shards, per-shard commit queues,
+/// router/rules, workload monitor, and atomic write accounting via
+/// `Arc`, so N threads ingest concurrently through `&self` methods.
+/// Writers routed to different shards proceed fully in parallel;
+/// writers colliding on the same hot shard park their groups in that
+/// shard's commit queue, and whichever writer holds the engine lock
+/// applies everything pending under the one acquisition — one translog
+/// append batch and one monitor/stats pass per group, so Zipf-skewed
+/// contention degrades into batching instead of a lock convoy.
+///
+/// Error surfacing, chaos `WriteFault` injection, and write accounting
+/// behave identically to [`Esdb::write`]/[`Esdb::write_batch`] — both
+/// drive the same shared pipeline.
+#[derive(Clone)]
+pub struct EsdbWriter {
+    state: Arc<WriteState>,
+    executor: Executor,
+}
+
+impl EsdbWriter {
+    /// Inserts a document, returning the shard it was routed to.
+    pub fn insert(&self, doc: Document) -> Result<ShardId> {
+        self.write(WriteOp::insert(doc))
+    }
+
+    /// Updates an existing record (routing triple must match the
+    /// original creation time, §4.2).
+    pub fn update(&self, doc: Document) -> Result<ShardId> {
+        self.write(WriteOp::update(doc))
+    }
+
+    /// Deletes a record by routing triple.
+    pub fn delete(
+        &self,
+        tenant: TenantId,
+        record: RecordId,
+        created_at: TimestampMs,
+    ) -> Result<ShardId> {
+        self.write(WriteOp::delete(tenant, record, created_at))
+    }
+
+    /// Applies a raw write operation.
+    pub fn write(&self, op: WriteOp) -> Result<ShardId> {
+        write_one(&self.state, op)
+    }
+
+    /// Flushes a [`crate::WriteBatcher`]'s coalesced operations through
+    /// the shared pipeline (see [`Esdb::write_batch`]).
+    pub fn write_batch(&self, batcher: &mut crate::WriteBatcher) -> Result<BatchApplied> {
+        write_batch_shared(&self.state, &self.executor, batcher.flush())
     }
 }
 

@@ -36,7 +36,7 @@ mod batcher;
 mod db;
 
 pub use batcher::WriteBatcher;
-pub use db::{BatchApplied, Esdb, EsdbConfig, EsdbReader, EsdbStats, RoutingMode};
+pub use db::{BatchApplied, Esdb, EsdbConfig, EsdbReader, EsdbStats, EsdbWriter, RoutingMode};
 
 // The layered crates, re-exported so applications can depend on
 // `esdb-core` alone.

@@ -236,22 +236,37 @@ impl ShardEngine {
     /// sampled — a translog append is microsecond-scale, so reading the
     /// clock on every op would itself be measurable.
     pub fn apply(&mut self, op: &WriteOp) -> Result<()> {
+        self.apply_group(std::slice::from_ref(op), true)
+            .pop()
+            .expect("single-op group yields one result")
+    }
+
+    /// Applies a group of writes under one engine entry: one translog
+    /// append batch, memory applies in submission order, then a single
+    /// refresh-threshold check and snapshot publication for the whole
+    /// group. Per-op outcomes come back in submission order; with
+    /// `stop_on_error`, ops after the first failure are not attempted and
+    /// the returned vector is short. An op whose translog append failed
+    /// is never applied to memory — the durability contract (recovery
+    /// replays exactly the acknowledged ops) is per-op, not per-group.
+    pub fn apply_group(&mut self, ops: &[WriteOp], stop_on_error: bool) -> Vec<Result<()>> {
         let sampled = self
             .timers
             .as_ref()
             .is_some_and(|t| t.telemetry.should_trace());
-        if sampled {
-            let t0 = Instant::now();
-            self.translog.append(op)?;
-            let t1 = Instant::now();
-            self.apply_to_memory(op);
+        let t0 = sampled.then(Instant::now);
+        let results = self.translog.append_batch(ops, stop_on_error);
+        let t1 = sampled.then(Instant::now);
+        for (op, r) in ops.iter().zip(&results) {
+            if r.is_ok() {
+                self.apply_to_memory(op);
+            }
+        }
+        if let (Some(t0), Some(t1)) = (t0, t1) {
             let t2 = Instant::now();
             let t = self.timers.as_ref().expect("sampled implies timers");
             t.translog_append.record(ns_between(t0, t1));
             t.index.record(ns_between(t1, t2));
-        } else {
-            self.translog.append(op)?;
-            self.apply_to_memory(op);
         }
         if self.config.refresh_buffer_docs > 0
             && self.live_buffer_len() >= self.config.refresh_buffer_docs
@@ -261,7 +276,7 @@ impl ShardEngine {
         // A tombstone that landed in a segment changed the searchable
         // state — publish it (refresh publishes on its own).
         self.maybe_publish();
-        Ok(())
+        results
     }
 
     /// Makes buffered writes durable (fsync the translog).

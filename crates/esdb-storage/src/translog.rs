@@ -120,6 +120,51 @@ impl Translog {
         Ok(())
     }
 
+    /// Appends a group of operations (buffered). The healthy path encodes
+    /// every frame into one contiguous buffer and issues a single
+    /// `write_all` — the batching the per-shard group commit relies on.
+    /// When a chaos [`WriteFault`] hook is installed the ops go through
+    /// [`Translog::append`] one at a time instead, so tear placement and
+    /// the on-disk prefix stay byte-identical to the sequential path.
+    ///
+    /// Returns one result per *attempted* op, in submission order. With
+    /// `stop_on_error`, ops after the first failure are not attempted and
+    /// the returned vector is short; without it every op is attempted.
+    pub fn append_batch(&mut self, ops: &[WriteOp], stop_on_error: bool) -> Vec<Result<()>> {
+        if self.write_fault.is_some() {
+            let mut out = Vec::with_capacity(ops.len());
+            for op in ops {
+                let r = self.append(op);
+                let failed = r.is_err();
+                out.push(r);
+                if failed && stop_on_error {
+                    break;
+                }
+            }
+            return out;
+        }
+        let mut buf = Vec::new();
+        for op in ops {
+            buf.extend_from_slice(&frame(&encode_op(op)));
+        }
+        match self.file.write_all(&buf) {
+            Ok(()) => {
+                self.unsynced += ops.len();
+                self.ops_in_generation += ops.len();
+                ops.iter().map(|_| Ok(())).collect()
+            }
+            Err(e) => {
+                // A failed group write leaves the file in an unknown
+                // state; conservatively fail every op — recovery keeps
+                // whatever whole frames actually landed.
+                let msg = e.to_string();
+                ops.iter()
+                    .map(|_| Err(EsdbError::Io(msg.clone())))
+                    .collect()
+            }
+        }
+    }
+
     /// Fsyncs pending appends; returns how many ops were made durable.
     pub fn sync(&mut self) -> Result<usize> {
         self.file.sync_data()?;
