@@ -20,9 +20,11 @@ use crate::monitor::{PeriodReport, WorkloadMonitor};
 use crate::offset::OffsetPolicy;
 use esdb_common::{TenantId, TimestampMs};
 use esdb_routing::RuleList;
+use esdb_telemetry::{EventKind, Journal, Labels, NO_PARENT};
+use std::sync::Arc;
 
 /// A proposed secondary hashing rule for one tenant, not yet committed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct RuleProposal {
     /// The hot tenant.
     pub tenant: TenantId,
@@ -31,7 +33,23 @@ pub struct RuleProposal {
     /// The throughput/storage proportion that triggered the proposal
     /// (kept for observability).
     pub proportion_ppm: u64,
+    /// Journal sequence of the `hot_tenant_detected` event that produced
+    /// this proposal ([`NO_PARENT`] when the journal is off), so the
+    /// committed rule's journal entry links back causally.
+    pub detected_seq: u64,
 }
+
+/// Equality ignores `detected_seq` — two proposals are the same decision
+/// regardless of which journal entry recorded the detection.
+impl PartialEq for RuleProposal {
+    fn eq(&self, other: &Self) -> bool {
+        self.tenant == other.tenant
+            && self.offset == other.offset
+            && self.proportion_ppm == other.proportion_ppm
+    }
+}
+
+impl Eq for RuleProposal {}
 
 /// Balancer configuration.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +83,9 @@ pub struct LoadBalancer {
     /// emitted only when it would *grow* the offset (re-proposing an equal
     /// or smaller `s` is useless: rule matching takes the max, §4.2).
     committed: esdb_common::fastmap::FastMap<TenantId, u32>,
+    /// Flight-recorder journal for `hot_tenant_detected` events (`None`
+    /// keeps the balancer telemetry-free).
+    journal: Option<Arc<Journal>>,
 }
 
 impl LoadBalancer {
@@ -73,12 +94,36 @@ impl LoadBalancer {
         LoadBalancer {
             config,
             committed: esdb_common::fastmap::fast_map(),
+            journal: None,
         }
+    }
+
+    /// Attaches the flight-recorder journal: every proposal's detection
+    /// is journaled and the proposal carries the event's sequence.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &BalancerConfig {
         &self.config
+    }
+
+    /// Journals a hot-tenant detection, returning the event sequence
+    /// ([`NO_PARENT`] when no journal is attached).
+    fn journal_detection(&self, tenant: TenantId, proportion_ppm: u64, offset: u32) -> u64 {
+        self.journal.as_ref().map_or(NO_PARENT, |j| {
+            j.emit(
+                EventKind::HotTenantDetected {
+                    tenant: tenant.0,
+                    proportion_ppm,
+                    proposed_offset: offset,
+                },
+                Labels::tenant(tenant.0),
+                NO_PARENT,
+            )
+        })
     }
 
     /// Initialization phase (Algorithm 1 lines 5–10): propose offsets from
@@ -93,10 +138,12 @@ impl LoadBalancer {
             let s = self.config.offset.compute_offset_size(r);
             if self.would_grow(tenant, s) {
                 self.committed.insert(tenant, s);
+                let proportion_ppm = (r * 1e6) as u64;
                 proposals.push(RuleProposal {
                     tenant,
                     offset: s,
-                    proportion_ppm: (r * 1e6) as u64,
+                    proportion_ppm,
+                    detected_seq: self.journal_detection(tenant, proportion_ppm, s),
                 });
             }
         }
@@ -119,10 +166,12 @@ impl LoadBalancer {
             let s = self.config.offset.compute_offset_size(r);
             if self.would_grow(tenant, s) {
                 self.committed.insert(tenant, s);
+                let proportion_ppm = (r * 1e6) as u64;
                 proposals.push(RuleProposal {
                     tenant,
                     offset: s,
-                    proportion_ppm: (r * 1e6) as u64,
+                    proportion_ppm,
+                    detected_seq: self.journal_detection(tenant, proportion_ppm, s),
                 });
             }
         }

@@ -32,7 +32,7 @@
 
 use esdb_chaos::{ChaosEvent, ChaosSchedule};
 use esdb_cluster::{ClusterConfig, PolicySpec, SimCluster};
-use esdb_telemetry::lint_prometheus;
+use esdb_telemetry::{lint_prometheus, unresolved_parents, Event};
 use esdb_workload::{RateSchedule, TraceGenerator};
 
 /// Zipf skew of the tenant choice (the paper's hot-tenant regime).
@@ -87,7 +87,54 @@ const FAST: Scale = Scale {
 struct ScenarioResult {
     json: String,
     prometheus: String,
+    bundle_json: String,
     gates: Vec<String>,
+}
+
+/// Walks the flight-recorder journal for the full causal chain of one
+/// failover: chaos fault → node crash → promotion start → translog
+/// replay → promotion complete, plus restart → resync. Each link must
+/// name its predecessor via `parent_seq`.
+fn causal_chain_gates(journal: &[Event]) -> Vec<String> {
+    let mut gates = Vec::new();
+    let find = |name: &str, parent: Option<u64>| {
+        journal
+            .iter()
+            .find(|e| e.kind.name() == name && parent.map_or(true, |p| e.parent_seq == p))
+    };
+    let Some(crash) = find("node_crashed", None) else {
+        gates.push("journal missing node_crashed".into());
+        return gates;
+    };
+    if crash.parent_seq == esdb_telemetry::NO_PARENT {
+        gates.push("node_crashed is not linked to its chaos fault".into());
+    } else if find("chaos_fault_injected", None).is_none() {
+        gates.push("journal missing chaos_fault_injected".into());
+    }
+    let Some(started) = find("promotion_started", Some(crash.seq)) else {
+        gates.push("no promotion_started caused by the node crash".into());
+        return gates;
+    };
+    let Some(replayed) = find("translog_replayed", Some(started.seq)) else {
+        gates.push("no translog_replayed caused by the promotion".into());
+        return gates;
+    };
+    if find("promotion_completed", Some(replayed.seq)).is_none() {
+        gates.push("no promotion_completed caused by the translog replay".into());
+    }
+    let Some(restarted) = find("node_restarted", Some(crash.seq)) else {
+        gates.push("no node_restarted linked back to the crash".into());
+        return gates;
+    };
+    // Resyncs are caused by the crash (dead replica rebuilt on a
+    // survivor) or by the restart (returning node re-adopts a copy) —
+    // either way the link must point into the failover chain.
+    if find("replica_resynced", Some(crash.seq)).is_none()
+        && find("replica_resynced", Some(restarted.seq)).is_none()
+    {
+        gates.push("no replica_resynced linked to the crash or restart".into());
+    }
+    gates
 }
 
 /// Hottest node = most routed arrivals summed over the shards it
@@ -154,6 +201,8 @@ fn run_scenario(scale: &Scale) -> ScenarioResult {
 
     let snap = cluster.telemetry_snapshot();
     let prometheus = snap.to_prometheus();
+    let bundle = cluster.debug_bundle();
+    let bundle_json = bundle.to_json();
     let report = cluster.finish();
     let completed: u64 = report.ticks.iter().map(|t| t.completed).sum();
 
@@ -199,6 +248,11 @@ fn run_scenario(scale: &Scale) -> ScenarioResult {
             "recovery did not drain within {} ticks",
             scale.max_recovery_ticks
         ));
+    }
+    gates.extend(causal_chain_gates(&bundle.journal));
+    let orphans = unresolved_parents(&bundle.journal, bundle.journal_evicted_max);
+    if !orphans.is_empty() {
+        gates.push(format!("journal has unresolved parent links: {orphans:?}"));
     }
     let lint = lint_prometheus(&prometheus);
     if !lint.is_empty() {
@@ -251,6 +305,7 @@ fn run_scenario(scale: &Scale) -> ScenarioResult {
     ScenarioResult {
         json,
         prometheus,
+        bundle_json,
         gates,
     }
 }
@@ -269,6 +324,9 @@ fn main() {
     }
     if first.prometheus != second.prometheus {
         gates.push("DETERMINISM VIOLATION: telemetry diverged across reruns".into());
+    }
+    if first.bundle_json != second.bundle_json {
+        gates.push("DETERMINISM VIOLATION: debug bundles diverged across reruns".into());
     }
 
     print!("{}", first.json);

@@ -1,42 +1,48 @@
-//! Telemetry overhead benchmark: the same skewed write + query workload
-//! against a telemetry-enabled and a telemetry-disabled instance.
+//! Observability overhead benchmark: the flight recorder (event
+//! journal + trace ids + tail-based capture) against the PR 3 baseline
+//! telemetry (histograms + head sampling only).
 //!
-//! The tentpole claim the telemetry layer makes is that its hot paths
-//! are cheap enough to leave on: atomic-only metric updates, 1-in-N
-//! trace sampling, and branch-only probes when disabled. This benchmark
-//! checks that claim end to end:
+//! The flight recorder's claim is that always-on forensic capture is
+//! cheap enough to leave on: journal emission is a striped atomic
+//! append, trace ids are one relaxed counter increment, and tail
+//! capture buffers spans it would otherwise drop. This benchmark checks
+//! that claim end to end:
 //!
-//! 1. loads identical data into a telemetry-on and a telemetry-off
-//!    instance (everything else identical, parallelism 1 so timings are
-//!    not scheduler noise) — the on arm runs the metrics plane only
-//!    (`tail_capture: false`, `journal_capacity: 0`); the flight
-//!    recorder's increment over this arm has its own bench and budget
-//!    (`observability_overhead`),
-//! 2. times interleaved write passes (identical pre-materialized
-//!    documents) and warm query passes (identical Zipf-skewed sequence)
-//!    on both, alternating measurement order to cancel drift,
+//! 1. loads identical data into a recorder-on instance (journal +
+//!    tail capture, the defaults) and a baseline instance (telemetry
+//!    enabled but `tail_capture: false`, `journal_capacity: 0` — the
+//!    pre-flight-recorder configuration), parallelism 1,
+//! 2. times interleaved write and warm query passes on both —
+//!    sub-millisecond write chunks and individual queries, paired and
+//!    order-alternated so the ratio median cancels drift and discards
+//!    scheduler spikes,
 //! 3. verifies row-identical query results between the two instances
-//!    (the determinism gate — telemetry must never change results),
-//! 4. lints the Prometheus exposition of the enabled instance and
-//!    checks histogram counts round-trip identically between the
-//!    Prometheus and JSON renderings, and
-//! 5. writes `BENCH_telemetry_overhead.json` at the repository root.
+//!    (the recorder must never change results),
+//! 4. verifies every slow-query entry on the recorder arm carries a
+//!    non-empty span tree (tail capture closes the `stages: []` gap),
+//! 5. runs the same seeded `SimCluster` failover scenario twice and
+//!    requires byte-identical `debug_bundle()` JSON (the forensic
+//!    artifact is deterministic), and
+//! 6. writes `BENCH_observability.json` at the repository root.
 //!
-//! Exits non-zero if determinism, the format lint, or the round-trip
-//! gate fails — or, in full mode on a host with >= 2 cores, if the
-//! median paired overhead of either path exceeds the gate (3%). On a
-//! single-core host the overhead gate is report-only and the JSON is
-//! `degraded_single_core`-marked, per the bench-honesty policy. Fast
-//! mode (`--fast` / `TELEMETRY_OVERHEAD_BENCH_FAST=1`) reports
-//! overhead but only enforces the correctness gates, since CI timing
-//! noise at small scales swamps single-digit percentages.
+//! Exits non-zero if row identity, the tail-capture gate, or bundle
+//! determinism fails — or, in full mode on a host with >= 2 cores, if
+//! the median paired overhead of either path exceeds the gate (3%). On
+//! a single-core host the overhead gate is report-only and the JSON is
+//! `degraded_single_core`-marked, per the bench-honesty policy: the
+//! bench shares its only core with the rest of the system, so the
+//! paired median still wanders by over a point between runs. Fast mode
+//! (`--fast` / `OBSERVABILITY_BENCH_FAST=1`) reports overhead but only
+//! enforces the correctness gates.
 
+use esdb_chaos::{ChaosEvent, ChaosSchedule};
+use esdb_cluster::{ClusterConfig, PolicySpec, SimCluster};
 use esdb_common::zipf::ZipfSampler;
 use esdb_common::{RecordId, TenantId};
 use esdb_core::{Esdb, EsdbConfig};
 use esdb_doc::{CollectionSchema, Document};
-use esdb_telemetry::{json_histogram_counts, lint_prometheus, prometheus_histogram_counts};
-use esdb_workload::{DocGenerator, WriteEvent};
+use esdb_telemetry::TelemetryConfig;
+use esdb_workload::{DocGenerator, RateSchedule, TraceGenerator, WriteEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -48,6 +54,10 @@ const THETA: f64 = 0.99;
 
 /// Full-mode overhead ceiling, percent, for each path.
 const OVERHEAD_GATE_PCT: f64 = 3.0;
+
+/// Seed of the failover scenario whose debug bundle must be
+/// byte-identical across reruns.
+const SIM_SEED: u64 = 42;
 
 struct Scale {
     mode: &'static str,
@@ -66,7 +76,7 @@ const FULL: Scale = Scale {
     preload_rows: 24_000,
     rows_per_pass: 4_000,
     queries_per_pass: 200,
-    samples: 13,
+    samples: 21,
 };
 
 const FAST: Scale = Scale {
@@ -79,8 +89,8 @@ const FAST: Scale = Scale {
     samples: 5,
 };
 
-/// Query templates a hot tenant repeats (same shapes as the query-cache
-/// bench, so both benches exercise the same paths).
+/// Query templates a hot tenant repeats (same shapes as the telemetry
+/// overhead bench, so the two benches exercise the same paths).
 fn templates(tenant: u64) -> [String; 3] {
     [
         format!(
@@ -99,33 +109,33 @@ fn templates(tenant: u64) -> [String; 3] {
     ]
 }
 
-fn build(scale: &Scale, telemetry: bool) -> Esdb {
+fn build(scale: &Scale, recorder: bool) -> Esdb {
     let dir: PathBuf = std::env::temp_dir().join(format!(
-        "esdb-bench-telemetry-{}-{}-{}",
+        "esdb-bench-observability-{}-{}-{}",
         scale.mode,
-        telemetry,
+        recorder,
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
-    let mut config = EsdbConfig::new(&dir)
-        .shards(scale.shards)
-        .parallelism(1)
-        .telemetry(telemetry);
-    if telemetry {
-        // This bench gates the *metrics plane* — registry, histograms,
-        // head sampling, slow log — against telemetry fully off. The
-        // flight recorder (tail capture + event journal) that later
-        // grew into the same crate is measured separately, as its own
-        // increment over this configuration, by the
-        // `observability_overhead` bench; leaving it on here would
-        // double-charge it to the metrics plane's 3% budget.
-        config = config.telemetry_config(esdb_telemetry::TelemetryConfig {
+    let telemetry = if recorder {
+        // The flight recorder: journal + tail capture on (defaults).
+        TelemetryConfig::default()
+    } else {
+        // PR 3 baseline: histograms and head sampling only.
+        TelemetryConfig {
             tail_capture: false,
             journal_capacity: 0,
-            ..esdb_telemetry::TelemetryConfig::default()
-        });
-    }
-    Esdb::open(CollectionSchema::transaction_logs(), config).expect("open bench instance")
+            ..TelemetryConfig::default()
+        }
+    };
+    Esdb::open(
+        CollectionSchema::transaction_logs(),
+        EsdbConfig::new(&dir)
+            .shards(scale.shards)
+            .parallelism(1)
+            .telemetry_config(telemetry),
+    )
+    .expect("open bench instance")
 }
 
 /// Deterministic stream of pre-materialized documents; both instances
@@ -205,12 +215,9 @@ fn median(samples: &mut [u128]) -> u128 {
     samples[samples.len() / 2]
 }
 
-/// Overhead from the median of *paired* chunk ratios. Each pair is the
-/// two arms measured back-to-back on the same chunk, so slow drift
-/// (instance growth, frequency scaling) cancels within the pair; taking
-/// the median over ~100 pairs then discards the few where a one-off
-/// event (scheduler preemption, page reclaim, translog rollover) landed
-/// in one arm only. Far more stable than the ratio of per-arm medians.
+/// Overhead from the median of *paired* chunk ratios (see the telemetry
+/// overhead bench for the rationale: pairing cancels drift, the median
+/// discards one-off events that land in one arm only).
 fn paired_overhead_pct(pairs: &[(u128, u128)]) -> f64 {
     let mut ratios: Vec<f64> = pairs
         .iter()
@@ -224,9 +231,43 @@ fn paired_overhead_pct(pairs: &[(u128, u128)]) -> f64 {
     (ratios[ratios.len() / 2] - 1.0) * 100.0
 }
 
+/// One seeded failover scenario; returns the debug bundle JSON. Two
+/// calls with the same seed must produce identical bytes.
+fn sim_bundle_json(seed: u64) -> String {
+    let mut cfg = ClusterConfig::small(PolicySpec::DoubleHashing { s: 8 });
+    cfg.n_nodes = 4;
+    cfg.n_shards = 32;
+    cfg.node_capacity_per_sec = 1_000.0;
+    cfg.balancer = esdb_balancer::BalancerConfig::new(32, 4);
+    let tick_ms = cfg.tick_ms;
+    let mut cluster = SimCluster::new(cfg);
+    let mut gen = TraceGenerator::new(100, THETA, RateSchedule::constant(1_000.0), seed);
+    let mut load = |cluster: &mut SimCluster, ticks: u64| {
+        for _ in 0..ticks {
+            let now = cluster.now();
+            let events = gen.tick(now, tick_ms);
+            cluster.step(events);
+        }
+    };
+    load(&mut cluster, 20);
+    let crash_ms = cluster.now();
+    cluster.set_chaos_schedule(
+        ChaosSchedule::new()
+            .at(crash_ms, ChaosEvent::NodeCrash { node: 1 })
+            .at(crash_ms + 3_000, ChaosEvent::NodeRestart { node: 1 }),
+    );
+    load(&mut cluster, 60);
+    let mut drain = 0u64;
+    while cluster.in_flight() > 0 && drain < 400 {
+        cluster.step(Vec::new());
+        drain += 1;
+    }
+    cluster.debug_bundle().to_json()
+}
+
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast" || a == "fast")
-        || std::env::var("TELEMETRY_OVERHEAD_BENCH_FAST").is_ok_and(|v| v == "1");
+        || std::env::var("OBSERVABILITY_BENCH_FAST").is_ok_and(|v| v == "1");
     let scale = if fast { FAST } else { FULL };
 
     let mut on = build(&scale, true);
@@ -245,17 +286,12 @@ fn main() {
     on.refresh();
     off.refresh();
 
-    // Write-path timing: each sample inserts the same fresh batch into
-    // both instances, alternating the arm order chunk by chunk so
-    // system-level events (frequency scaling, reclaim) hit both arms
-    // evenly, and refreshing between samples so buffered-write state
-    // doesn't accumulate into monotone drift across the run. Chunks are
+    // Write-path timing, chunk-paired with alternating arm order (see
+    // the telemetry overhead bench for the methodology). Chunks are
     // kept sub-millisecond so a scheduler preemption lands inside a few
-    // pairs — which the ratio median discards — not across a whole
-    // pass.
+    // pairs — which the ratio median then discards — instead of
+    // skewing a whole pass.
     let chunk_rows = (scale.rows_per_pass / 64).max(1) as usize;
-    // Untimed warm-up pass: the first writes after a merge pay one-off
-    // costs (buffer growth, translog open) that belong to neither arm.
     for d in rows.batch(scale.rows_per_pass) {
         on.insert(d.clone()).expect("insert row");
         off.insert(d).expect("insert row");
@@ -289,20 +325,20 @@ fn main() {
         off.refresh();
     }
 
-    // Determinism gate: telemetry must never change query results.
+    // Row-identity gate: the recorder must never change results.
     let seq = query_sequence(&scale);
-    let mut determinism_ok = true;
+    let mut rows_identical = true;
     if run_query_pass(&mut on, &seq) != run_query_pass(&mut off, &seq) {
-        eprintln!("DETERMINISM VIOLATION: telemetry-on results diverged from telemetry-off");
-        determinism_ok = false;
+        eprintln!("ROW IDENTITY VIOLATION: recorder-on results diverged from recorder-off");
+        rows_identical = false;
     }
 
-    // Query-path timing: warm passes (both instances just ran the
-    // sequence once), paired per *individual query* — the same SQL runs
-    // back-to-back on both arms in alternating order, so the overhead
-    // estimate is the median over thousands of same-query ratios and a
-    // multi-millisecond scheduler spike inflates one ~100µs pair, not a
-    // whole pass.
+    // Query-path timing: warm passes, paired per *individual query* —
+    // the same SQL runs back-to-back on both arms in alternating order,
+    // and the overhead estimate is the median over thousands of
+    // same-query ratios. A multi-millisecond scheduler spike inflates
+    // one ~100µs pair, not an entire 200-query pass, so the median
+    // stays pinned to the systematic on/off difference.
     let mut query_on: Vec<u128> = Vec::with_capacity(scale.samples);
     let mut query_off: Vec<u128> = Vec::with_capacity(scale.samples);
     let mut query_pairs: Vec<(u128, u128)> = Vec::new();
@@ -335,57 +371,59 @@ fn main() {
     let query_on_med = median(&mut query_on);
     let query_off_med = median(&mut query_off);
 
-    // Exposition gates on the enabled instance: the Prometheus text
-    // must lint clean, and histogram counts must round-trip identically
-    // between the Prometheus and JSON renderings.
-    let snap = on.telemetry_snapshot();
-    let prom = snap.to_prometheus();
-    let json = snap.to_json();
-    let lint = lint_prometheus(&prom);
-    let prom_counts = prometheus_histogram_counts(&prom);
-    let json_counts = json_histogram_counts(&json);
-    let round_trip_ok = !prom_counts.is_empty() && prom_counts == json_counts;
-    let histogram_series = snap.histograms.len();
-    let slow_logged = on.slow_queries().len();
+    // Tail-capture gate: with the recorder on, every slow-query entry
+    // must carry a non-empty span tree (no `stages: []` survivors). The
+    // gate is vacuous when nothing crossed the threshold; the count is
+    // reported so a vacuous pass is visible.
+    let slow_entries = on.slow_queries();
+    let slow_logged = slow_entries.len();
+    let tail_capture_ok = slow_entries.iter().all(|e| !e.stages.is_empty());
+
+    // Journal liveness: the write/maintenance workload above must have
+    // left events in the recorder arm's journal.
+    let journal_events = on.telemetry().journal().tail(usize::MAX).len();
+
+    // Bundle determinism: same seed, same bytes.
+    let bundle_a = sim_bundle_json(SIM_SEED);
+    let bundle_b = sim_bundle_json(SIM_SEED);
+    let bundle_identical = bundle_a == bundle_b;
 
     println!(
-        "telemetry_overhead/{}: write on {:.3} ms / off {:.3} ms ({:+.2}%)",
+        "observability_overhead/{}: write on {:.3} ms / off {:.3} ms ({:+.2}%)",
         scale.mode,
         write_on_med as f64 / 1e6,
         write_off_med as f64 / 1e6,
         write_overhead,
     );
     println!(
-        "telemetry_overhead/{}: query on {:.3} ms / off {:.3} ms ({:+.2}%)",
+        "observability_overhead/{}: query on {:.3} ms / off {:.3} ms ({:+.2}%)",
         scale.mode,
         query_on_med as f64 / 1e6,
         query_off_med as f64 / 1e6,
         query_overhead,
     );
     println!(
-        "telemetry_overhead/{}: {} histogram series, {} slow-logged, \
-         lint violations {}, round-trip {}",
+        "observability_overhead/{}: {} journal events, {} slow-logged \
+         (stages {}), bundle determinism {}",
         scale.mode,
-        histogram_series,
+        journal_events,
         slow_logged,
-        lint.len(),
-        if round_trip_ok { "ok" } else { "MISMATCH" },
+        if tail_capture_ok { "ok" } else { "MISSING" },
+        if bundle_identical { "ok" } else { "VIOLATED" },
     );
-    for v in &lint {
-        eprintln!("PROMETHEUS LINT: {v}");
-    }
 
     let host_cores = esdb_bench::host_cores();
     let degraded = esdb_bench::degraded_single_core(scale.mode == "fast");
-    // On a single-core host the two arms share the CPU with the rest of
-    // the system and background load lands asymmetrically in whichever
-    // arm is running when it hits; the paired median still wanders by
-    // over a point between identical runs. Per the bench-honesty policy
-    // the overhead gate downgrades to report-only there; the
-    // determinism, lint, and round-trip gates stay hard always.
+    // The overhead gate needs the bench to own a core: on a single-core
+    // host the two arms share the CPU with the rest of the system, and
+    // background load lands asymmetrically in whichever arm is running
+    // when it hits — the paired-ratio median still wanders by more than
+    // a percentage point run to run. Per the bench-honesty policy the
+    // gate downgrades to report-only there (`degraded_single_core` is
+    // already marked in the JSON); correctness gates stay hard always.
     let gate_enforced = !fast && !degraded;
     let json_out = format!(
-        "{{\n  \"bench\": \"telemetry_overhead\",\n  \"mode\": \"{}\",\n  \"theta\": {THETA},\n  \
+        "{{\n  \"bench\": \"observability\",\n  \"mode\": \"{}\",\n  \"theta\": {THETA},\n  \
          \"shards\": {},\n  \"tenants\": {},\n  \"preload_rows\": {},\n  \
          \"rows_per_pass\": {},\n  \"queries_per_pass\": {},\n  \"samples\": {},\n  \
          \"host_cores\": {host_cores},\n  \"degraded_single_core\": {degraded},\n  \
@@ -395,11 +433,12 @@ fn main() {
          \"query_overhead_pct\": {query_overhead:.4},\n  \
          \"overhead_gate_pct\": {OVERHEAD_GATE_PCT},\n  \
          \"overhead_gate_enforced\": {gate_enforced},\n  \
-         \"results_identical_on_vs_off\": {determinism_ok},\n  \
-         \"prometheus_lint_violations\": {},\n  \
-         \"histogram_counts_round_trip\": {round_trip_ok},\n  \
-         \"histogram_series\": {histogram_series},\n  \
-         \"slow_queries_logged\": {slow_logged}\n}}\n",
+         \"results_identical_on_vs_off\": {rows_identical},\n  \
+         \"journal_events\": {journal_events},\n  \
+         \"slow_queries_logged\": {slow_logged},\n  \
+         \"slow_queries_have_stages\": {tail_capture_ok},\n  \
+         \"sim_seed\": {SIM_SEED},\n  \
+         \"debug_bundle_byte_identical\": {bundle_identical}\n}}\n",
         scale.mode,
         scale.shards,
         scale.tenants,
@@ -407,11 +446,10 @@ fn main() {
         scale.rows_per_pass,
         scale.queries_per_pass,
         scale.samples,
-        lint.len(),
     );
     let path = concat!(
         env!("CARGO_MANIFEST_DIR"),
-        "/../../BENCH_telemetry_overhead.json"
+        "/../../BENCH_observability.json"
     );
     match std::fs::write(path, &json_out) {
         Ok(()) => println!("wrote {path}"),
@@ -419,24 +457,25 @@ fn main() {
     }
 
     let mut failed = false;
-    if !determinism_ok {
-        eprintln!("telemetry_overhead: FAILED determinism gate");
+    if !rows_identical {
+        eprintln!("observability_overhead: FAILED row-identity gate");
         failed = true;
     }
-    if !lint.is_empty() {
-        eprintln!(
-            "telemetry_overhead: FAILED Prometheus lint ({} violations)",
-            lint.len()
-        );
+    if !tail_capture_ok {
+        eprintln!("observability_overhead: FAILED tail-capture gate (slow query without stages)");
         failed = true;
     }
-    if !round_trip_ok {
-        eprintln!("telemetry_overhead: FAILED histogram count round-trip");
+    if journal_events == 0 {
+        eprintln!("observability_overhead: FAILED journal liveness (no events recorded)");
+        failed = true;
+    }
+    if !bundle_identical {
+        eprintln!("observability_overhead: FAILED debug-bundle determinism gate");
         failed = true;
     }
     if gate_enforced && (write_overhead > OVERHEAD_GATE_PCT || query_overhead > OVERHEAD_GATE_PCT) {
         eprintln!(
-            "telemetry_overhead: FAILED overhead gate (write {write_overhead:+.2}%, \
+            "observability_overhead: FAILED overhead gate (write {write_overhead:+.2}%, \
              query {query_overhead:+.2}% > {OVERHEAD_GATE_PCT}%)"
         );
         failed = true;

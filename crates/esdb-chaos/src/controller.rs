@@ -4,7 +4,9 @@ use crate::retry::RetryPolicy;
 use esdb_common::fastmap::{fast_map, FastMap};
 use esdb_common::{NodeId, TimestampMs};
 use esdb_consensus::{FaultPlan, LinkFault};
-use esdb_telemetry::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
+use esdb_telemetry::{
+    Counter, EventKind, Gauge, Histogram, Journal, Labels, MetricsRegistry, NO_PARENT,
+};
 use std::sync::Arc;
 
 /// Liveness of one node.
@@ -60,8 +62,18 @@ impl Default for FailoverConfig {
 pub struct FailoverController {
     health: Vec<NodeHealth>,
     slow: Vec<f64>,
-    /// shard index → crash time of the primary it is recovering from.
-    in_transition: FastMap<u32, TimestampMs>,
+    /// shard index → (crash time of the primary it is recovering from,
+    /// journal seq of its `promotion_started` event).
+    in_transition: FastMap<u32, (TimestampMs, u64)>,
+    /// Flight-recorder journal; `None` records metrics only. The crash →
+    /// promotion → replay → recovery chain is causally linked through
+    /// the tracked sequence numbers below.
+    journal: Option<Arc<Journal>>,
+    /// node → journal seq of its latest `node_crashed` event.
+    crash_seq: FastMap<u32, u64>,
+    /// Journal seq of the latest `node_restarted` event (parents
+    /// subsequent replica resyncs).
+    last_restart_seq: u64,
     node_up: Vec<Arc<Gauge>>,
     promotion_ms: Arc<Histogram>,
     node_unavail_ms: Arc<Histogram>,
@@ -87,6 +99,9 @@ impl FailoverController {
             health: vec![NodeHealth::Up; n_nodes as usize],
             slow: vec![1.0; n_nodes as usize],
             in_transition: fast_map(),
+            journal: None,
+            crash_seq: fast_map(),
+            last_restart_seq: NO_PARENT,
             node_up,
             promotion_ms: registry.histogram("esdb_failover_promotion_ms", Labels::none()),
             node_unavail_ms: registry.histogram("esdb_sim_node_unavailability_ms", Labels::none()),
@@ -96,6 +111,20 @@ impl FailoverController {
             crashes: registry.counter("esdb_sim_node_crashes_total", Labels::none()),
             restarts: registry.counter("esdb_sim_node_restarts_total", Labels::none()),
         }
+    }
+
+    /// Attaches the flight-recorder journal: crash/restart/promotion/
+    /// replay events are emitted with causal `parent_seq` links.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Emits a journal event (no-op without a journal); returns its seq.
+    fn emit(&self, kind: EventKind, labels: Labels, parent_seq: u64) -> u64 {
+        self.journal
+            .as_ref()
+            .map_or(NO_PARENT, |j| j.emit(kind, labels, parent_seq))
     }
 
     /// Whether `node` is serving.
@@ -129,12 +158,24 @@ impl FailoverController {
     /// Marks `node` down at `now`. Returns `false` (no-op) if it already
     /// was.
     pub fn on_crash(&mut self, node: u32, now: TimestampMs) -> bool {
+        self.on_crash_caused_by(node, now, NO_PARENT)
+    }
+
+    /// [`FailoverController::on_crash`] with a causal parent — typically
+    /// the `chaos_fault_injected` journal event that fired the crash.
+    pub fn on_crash_caused_by(&mut self, node: u32, now: TimestampMs, cause_seq: u64) -> bool {
         if !self.is_up(node) {
             return false;
         }
         self.health[node as usize] = NodeHealth::Down { since: now };
         self.node_up[node as usize].set(0);
         self.crashes.add(1);
+        let seq = self.emit(
+            EventKind::NodeCrashed { node },
+            Labels::node(node),
+            cause_seq,
+        );
+        self.crash_seq.insert(node, seq);
         true
     }
 
@@ -149,13 +190,35 @@ impl FailoverController {
         self.restarts.add(1);
         let downtime = now.saturating_sub(since);
         self.node_unavail_ms.record(downtime);
+        let parent = self.crash_seq.get(&node).copied().unwrap_or(NO_PARENT);
+        self.last_restart_seq = self.emit(
+            EventKind::NodeRestarted {
+                node,
+                downtime_ms: downtime,
+            },
+            Labels::node(node),
+            parent,
+        );
         Some(downtime)
     }
 
-    /// Starts tracking a promotion for `shard` whose primary crashed at
-    /// `crashed_at`.
-    pub fn begin_promotion(&mut self, shard: u32, crashed_at: TimestampMs) {
-        self.in_transition.insert(shard, crashed_at);
+    /// Starts tracking a promotion for `shard` whose primary
+    /// `crashed_node` crashed at `crashed_at`.
+    pub fn begin_promotion(&mut self, shard: u32, crashed_node: u32, crashed_at: TimestampMs) {
+        let parent = self
+            .crash_seq
+            .get(&crashed_node)
+            .copied()
+            .unwrap_or(NO_PARENT);
+        let seq = self.emit(
+            EventKind::PromotionStarted {
+                shard,
+                crashed_node,
+            },
+            Labels::shard(shard),
+            parent,
+        );
+        self.in_transition.insert(shard, (crashed_at, seq));
     }
 
     /// Whether `shard` is mid-promotion (writes must retry).
@@ -176,17 +239,58 @@ impl FailoverController {
         now: TimestampMs,
         replayed: u64,
     ) -> Option<u64> {
-        let crashed_at = self.in_transition.remove(&shard)?;
+        let (crashed_at, start_seq) = self.in_transition.remove(&shard)?;
         let latency = now.saturating_sub(crashed_at);
         self.promotion_ms.record(latency);
         self.replayed_ops.add(replayed);
         self.promotions.add(1);
+        let replay_seq = self.emit(
+            EventKind::TranslogReplayed {
+                shard,
+                ops: replayed,
+            },
+            Labels::shard(shard),
+            start_seq,
+        );
+        self.emit(
+            EventKind::PromotionCompleted {
+                shard,
+                replayed_ops: replayed,
+                latency_ms: latency,
+            },
+            Labels::shard(shard),
+            replay_seq,
+        );
         Some(latency)
     }
 
-    /// Accounts ops replayed to rebuild a replica on a surviving node.
+    /// Accounts ops replayed to rebuild a replica on a surviving node,
+    /// parented to the latest restart.
     pub fn record_resync(&mut self, ops: u64) {
+        let parent = self.last_restart_seq;
+        self.record_resync_caused_by(ops, parent);
+    }
+
+    /// [`FailoverController::record_resync`] with an explicit causal
+    /// parent — the crash or restart event that triggered the rebuild.
+    pub fn record_resync_caused_by(&mut self, ops: u64, cause_seq: u64) {
         self.resync_ops.add(ops);
+        self.emit(
+            EventKind::ReplicaResynced { ops },
+            Labels::none(),
+            cause_seq,
+        );
+    }
+
+    /// Journal seq of `node`'s `node_crashed` event ([`NO_PARENT`] if it
+    /// never crashed or the journal is disabled).
+    pub fn crash_seq_of(&self, node: u32) -> u64 {
+        self.crash_seq.get(&node).copied().unwrap_or(NO_PARENT)
+    }
+
+    /// Journal seq of the latest `node_restarted` event.
+    pub fn last_restart_seq(&self) -> u64 {
+        self.last_restart_seq
     }
 
     /// The effective consensus plan: `base` with every down node fully
@@ -250,7 +354,7 @@ mod tests {
     fn promotion_lifecycle_records_latency_and_ops() {
         let (mut c, reg) = controller(2);
         c.on_crash(0, 2_000);
-        c.begin_promotion(7, 2_000);
+        c.begin_promotion(7, 0, 2_000);
         assert!(c.is_in_transition(7));
         assert_eq!(c.transitions_in_flight(), 1);
         assert_eq!(c.complete_promotion(7, 2_600, 40), Some(600));
@@ -280,6 +384,50 @@ mod tests {
         base.set(NodeId(1), LinkFault::Delay(100));
         let plan = c.consensus_overlay(&base);
         assert_eq!(plan.fault(NodeId(1)), LinkFault::Delay(100));
+    }
+
+    #[test]
+    fn journal_chain_links_crash_to_recovery() {
+        use esdb_telemetry::unresolved_parents;
+        let registry = Arc::new(MetricsRegistry::new());
+        let journal = Arc::new(Journal::new(64));
+        let mut c = FailoverController::new(2, &registry).with_journal(Arc::clone(&journal));
+        let fault = journal.emit(
+            EventKind::ChaosFaultInjected {
+                fault: "node_crash",
+                node: 0,
+            },
+            Labels::node(0),
+            NO_PARENT,
+        );
+        c.on_crash_caused_by(0, 1_000, fault);
+        c.begin_promotion(3, 0, 1_000);
+        c.complete_promotion(3, 1_500, 25);
+        c.on_restart(0, 2_000);
+        c.record_resync(10);
+        let events = journal.snapshot();
+        let names: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "chaos_fault_injected",
+                "node_crashed",
+                "promotion_started",
+                "translog_replayed",
+                "promotion_completed",
+                "node_restarted",
+                "replica_resynced",
+            ]
+        );
+        // fault → crash → promotion → replay → completion is one chain;
+        // the restart parents onto the crash and the resync onto the
+        // restart.
+        for w in events.windows(2).take(4) {
+            assert_eq!(w[1].parent_seq, w[0].seq, "chain break at {:?}", w[1]);
+        }
+        assert_eq!(events[5].parent_seq, events[1].seq, "restart ← crash");
+        assert_eq!(events[6].parent_seq, events[5].seq, "resync ← restart");
+        assert!(unresolved_parents(&events, journal.evicted_max()).is_empty());
     }
 
     #[test]

@@ -33,6 +33,9 @@ pub enum Task {
         work: f64,
         /// Whether completion promotes the shard's new primary.
         promote: bool,
+        /// Journal seq of the crash/restart that caused this recovery
+        /// (`NO_PARENT` when the journal is disabled).
+        cause: u64,
     },
 }
 
@@ -221,6 +224,7 @@ mod tests {
             ops: 20,
             work: 3.0,
             promote: true,
+            cause: 0,
         };
         n.enqueue(recovery, 3.0);
         n.enqueue(primary(0), 1.0);

@@ -8,7 +8,10 @@ use esdb_common::fastmap::{fast_map, FastMap};
 use esdb_common::{Clock, ManualClock, NodeId, ShardId, SharedClock, TenantId, TimestampMs};
 use esdb_consensus::{ConsensusConfig, FaultPlan, Master, Participant, RoundOutcome, RuleBody};
 use esdb_routing::{DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, ShardSpan};
-use esdb_telemetry::{Counter, Histogram, Labels, Telemetry, TelemetryConfig, TelemetrySnapshot};
+use esdb_telemetry::{
+    Counter, DebugBundle, EventKind, Histogram, Labels, Telemetry, TelemetryConfig,
+    TelemetrySnapshot, NO_PARENT,
+};
 use esdb_workload::WriteEvent;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -299,8 +302,10 @@ impl SimCluster {
             },
         )
         .with_telemetry(Arc::clone(telemetry.registry()));
-        let balancer = LoadBalancer::new(cfg.balancer);
-        let controller = FailoverController::new(cfg.n_nodes, telemetry.registry());
+        let balancer =
+            LoadBalancer::new(cfg.balancer).with_journal(Arc::clone(telemetry.journal()));
+        let controller = FailoverController::new(cfg.n_nodes, telemetry.registry())
+            .with_journal(Arc::clone(telemetry.journal()));
         let max_pending_work = cfg.client.max_pending_secs * cfg.node_capacity_per_sec;
         let report = RunReport {
             per_node_completed: vec![0; cfg.n_nodes as usize],
@@ -551,6 +556,7 @@ impl SimCluster {
                         shard,
                         ops,
                         promote,
+                        cause,
                         ..
                     } => {
                         if promote {
@@ -563,7 +569,7 @@ impl SimCluster {
                                 self.report.replayed_ops += ops;
                             }
                         } else {
-                            self.controller.record_resync(ops);
+                            self.controller.record_resync_caused_by(ops, cause);
                             self.report.resync_ops += ops;
                         }
                     }
@@ -588,8 +594,29 @@ impl SimCluster {
                 .consensus_overlay(self.chaos.consensus_plan());
             for p in proposals {
                 let body = RuleBody::single(p.tenant, p.offset);
+                // Span in effect before the round, for the rule event's
+                // old → new transition (participant 0 backs the router).
+                let old_span = self.participants[0]
+                    .rules()
+                    .read()
+                    .offset_for_write(p.tenant, tick_end);
                 match self.master.run_round(&body, &mut self.participants, &plan) {
-                    RoundOutcome::Committed { .. } => self.report.rules_committed += 1,
+                    RoundOutcome::Committed { .. } => {
+                        self.report.rules_committed += 1;
+                        // commit_wait_ns stays 0 in the simulation: the
+                        // round is instantaneous in sim time, and wall-ns
+                        // would break same-seed bundle byte-identity.
+                        self.telemetry.emit(
+                            EventKind::RuleAppended {
+                                tenant: p.tenant.0,
+                                old_span,
+                                new_span: p.offset,
+                                commit_wait_ns: 0,
+                            },
+                            Labels::tenant(p.tenant.0),
+                            p.detected_seq,
+                        );
+                    }
                     RoundOutcome::Aborted { .. } => self.balancer.on_abort(p.tenant, p.offset),
                 }
             }
@@ -630,12 +657,29 @@ impl SimCluster {
         Dispatch::Accepted
     }
 
+    /// Journals a chaos firing; returns its seq so the resulting crash
+    /// chain links back to the fault that caused it.
+    fn journal_fault(&self, fault: &'static str, node: u32) -> u64 {
+        self.telemetry.emit(
+            EventKind::ChaosFaultInjected { fault, node },
+            Labels::node(node),
+            NO_PARENT,
+        )
+    }
+
     /// Applies one due chaos event at the start of a tick.
     fn apply_chaos_event(&mut self, ev: ChaosEvent, now: TimestampMs) {
         match ev {
-            ChaosEvent::NodeCrash { node } => self.crash_node(node, now),
-            ChaosEvent::NodeRestart { node } => self.restart_node(node, now),
+            ChaosEvent::NodeCrash { node } => {
+                let fault_seq = self.journal_fault("node_crash", node);
+                self.crash_node(node, now, fault_seq);
+            }
+            ChaosEvent::NodeRestart { node } => {
+                self.journal_fault("node_restart", node);
+                self.restart_node(node, now);
+            }
             ChaosEvent::SlowNode { node, factor } => {
+                self.journal_fault("slow_node", node);
                 let n = node as usize;
                 if n < self.nodes.len() {
                     self.controller.set_slow_factor(node, factor);
@@ -648,8 +692,10 @@ impl SimCluster {
         }
     }
 
-    fn crash_node(&mut self, node: u32, now: TimestampMs) {
-        if node as usize >= self.nodes.len() || !self.controller.on_crash(node, now) {
+    fn crash_node(&mut self, node: u32, now: TimestampMs, fault_seq: u64) {
+        if node as usize >= self.nodes.len()
+            || !self.controller.on_crash_caused_by(node, now, fault_seq)
+        {
             return;
         }
         self.report.node_crashes += 1;
@@ -671,7 +717,7 @@ impl SimCluster {
                     self.primary_node[s] = replica;
                     let new_replica = self.pick_surviving_node(replica).unwrap_or(replica);
                     self.replica_node[s] = new_replica;
-                    self.controller.begin_promotion(s as u32, now);
+                    self.controller.begin_promotion(s as u32, node, now);
                     let ops = self.translog_tail_ops[s];
                     self.nodes[replica as usize].enqueue(
                         Task::Recovery {
@@ -679,6 +725,7 @@ impl SimCluster {
                             ops,
                             work: (ops as f64 * replay_cost).max(1.0),
                             promote: true,
+                            cause: self.controller.crash_seq_of(node),
                         },
                         (ops as f64 * replay_cost).max(1.0),
                     );
@@ -702,6 +749,7 @@ impl SimCluster {
                                 ops,
                                 work: (ops as f64 * replay_cost).max(1.0),
                                 promote: false,
+                                cause: self.controller.crash_seq_of(node),
                             },
                             (ops as f64 * replay_cost).max(1.0),
                         );
@@ -726,13 +774,14 @@ impl SimCluster {
                 // Orphaned shard (every copy was down at crash time): the
                 // restarted node adopts it with an empty store.
                 self.primary_node[s] = node;
-                self.controller.begin_promotion(s as u32, now);
+                self.controller.begin_promotion(s as u32, primary, now);
                 self.nodes[node as usize].enqueue(
                     Task::Recovery {
                         shard: ShardId(s as u32),
                         ops: 0,
                         work: 1.0,
                         promote: true,
+                        cause: self.controller.last_restart_seq(),
                     },
                     1.0,
                 );
@@ -751,6 +800,7 @@ impl SimCluster {
                                 ops,
                                 work: (ops as f64 * replay_cost).max(1.0),
                                 promote: false,
+                                cause: self.controller.last_restart_seq(),
                             },
                             (ops as f64 * replay_cost).max(1.0),
                         );
@@ -836,6 +886,54 @@ impl SimCluster {
     /// Point-in-time snapshot of every metric the run has produced.
     pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
         self.telemetry.snapshot()
+    }
+
+    /// One-call postmortem artifact for the simulated cluster: metrics,
+    /// journal tail (the crash → promotion → replay → recovery chains),
+    /// slow logs, simulation config, and the committed rule list. All
+    /// payloads are simulation-time based, so same-seed runs render
+    /// byte-identical bundles.
+    pub fn debug_bundle(&self) -> DebugBundle {
+        let mut bundle = DebugBundle::from_telemetry(&self.telemetry, 512);
+        let c = &self.cfg;
+        bundle.config = vec![
+            ("n_nodes".to_string(), c.n_nodes.to_string()),
+            ("n_shards".to_string(), c.n_shards.to_string()),
+            ("tick_ms".to_string(), c.tick_ms.to_string()),
+            (
+                "node_capacity_per_sec".to_string(),
+                c.node_capacity_per_sec.to_string(),
+            ),
+            (
+                "monitor_period_ms".to_string(),
+                c.monitor_period_ms.to_string(),
+            ),
+            ("consensus_t_ms".to_string(), c.consensus_t_ms.to_string()),
+            (
+                "flush_interval_ms".to_string(),
+                c.failover.flush_interval_ms.to_string(),
+            ),
+        ];
+        bundle.rules = {
+            let rules = self.participants[0].rules();
+            let rules = rules.read();
+            let mut out = String::from("[");
+            for (i, r) in rules.rules().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let tenants: Vec<String> = r.tenants.iter().map(|t| t.0.to_string()).collect();
+                out.push_str(&format!(
+                    "{{\"effective_time\": {}, \"offset\": {}, \"tenants\": [{}]}}",
+                    r.effective_time,
+                    r.offset,
+                    tenants.join(", ")
+                ));
+            }
+            out.push(']');
+            out
+        };
+        bundle
     }
 
     /// Per-node completion-delay quantiles (ms), one row per node in

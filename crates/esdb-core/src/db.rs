@@ -23,8 +23,9 @@ use esdb_routing::{
 };
 use esdb_storage::{ShardConfig, ShardEngine, ShardSnapshot, SnapshotCell, WriteFault};
 use esdb_telemetry::{
-    Counter, Gauge, Histogram, Labels, MetricsRegistry, QueryTrace, SlowQueryEntry, Telemetry,
-    TelemetryConfig, TelemetrySnapshot,
+    json_escape, Counter, DebugBundle, EventKind, Gauge, Histogram, Labels, MetricsRegistry,
+    QueryTrace, SlowQueryEntry, SlowWriteEntry, Telemetry, TelemetryConfig, TelemetrySnapshot,
+    NO_PARENT,
 };
 use parking_lot::{Mutex, RwLock};
 use std::collections::VecDeque;
@@ -394,6 +395,9 @@ struct WriteState {
     writes_total: AtomicU64,
     write_errors_total: AtomicU64,
     writes_since_balance: AtomicU64,
+    /// Monotone rebalance-epoch counter; each claimed pass gets the next
+    /// number, journaled as claimed/completed event pairs.
+    rebalance_epochs: AtomicU64,
     telemetry: Arc<Telemetry>,
     timers: Option<CoreTimers>,
 }
@@ -432,6 +436,9 @@ struct CoreTimers {
     /// backlog is flushed into `group_size` as size-1 observations at
     /// snapshot time, so the histogram's sum/count stay exact.
     solo_drains: Arc<AtomicU64>,
+    /// Commit-queue drain latency (lock acquired → every taken group
+    /// applied and completed), per drain iteration.
+    drain_total: Arc<Histogram>,
     /// Nanoseconds a contended submission blocked, from its first
     /// failed engine-lock acquisition until it either won the lock
     /// (leaders) or saw its group completed by another leader
@@ -457,6 +464,7 @@ impl CoreTimers {
             write_errors: registry.counter("esdb_write_errors_total", Labels::none()),
             group_size: registry.histogram("esdb_write_group_size", Labels::none()),
             solo_drains: Arc::new(AtomicU64::new(0)),
+            drain_total: registry.histogram("esdb_write_drain_ns", Labels::none()),
             lock_wait: registry.histogram("esdb_write_lock_wait_ns", Labels::none()),
             queue_depth: (0..n_shards)
                 .map(|s| registry.gauge("esdb_write_queue_depth", Labels::shard(s)))
@@ -558,7 +566,10 @@ impl Esdb {
                 Router::Dynamic(r)
             }
         });
-        let balancer = LoadBalancer::new(config.balancer);
+        let mut balancer = LoadBalancer::new(config.balancer);
+        if telemetry.enabled() {
+            balancer = balancer.with_journal(Arc::clone(telemetry.journal()));
+        }
         let executor = Executor::new(config.parallelism);
         let filter_cache = Arc::new(SegmentFilterCache::new(if config.query_cache_bytes == 0 {
             AUTO_FILTER_BUDGET_FLOOR
@@ -588,6 +599,7 @@ impl Esdb {
             writes_total: AtomicU64::new(0),
             write_errors_total: AtomicU64::new(0),
             writes_since_balance: AtomicU64::new(0),
+            rebalance_epochs: AtomicU64::new(0),
             telemetry: Arc::clone(&telemetry),
             timers: timers.clone(),
         });
@@ -762,10 +774,25 @@ impl Esdb {
             }
             live.push(ids);
         }
+        let entries_before = self
+            .telemetry
+            .enabled()
+            .then(|| self.request_cache.stats().entries + self.filter_cache.stats().entries);
         self.request_cache
             .retain(|k| gens.get(k.0 as usize).is_some_and(|&g| g == k.1));
         self.filter_cache
             .retain(|k| live.get(k.0 as usize).is_some_and(|ids| ids.contains(&k.1)));
+        if let Some(before) = entries_before {
+            let entries = self.request_cache.stats().entries + self.filter_cache.stats().entries;
+            self.telemetry.emit(
+                EventKind::CacheSweep {
+                    evicted: before.saturating_sub(entries),
+                    entries,
+                },
+                Labels::none(),
+                NO_PARENT,
+            );
+        }
         if self.config.query_cache_bytes == 0 {
             self.filter_cache
                 .set_budget(auto_filter_budget(shard_bytes));
@@ -968,6 +995,87 @@ impl Esdb {
         self.telemetry.slow_queries()
     }
 
+    /// Current slow-write (group-commit drain) log contents, oldest
+    /// first.
+    pub fn slow_writes(&self) -> Vec<SlowWriteEntry> {
+        self.telemetry.slow_writes()
+    }
+
+    /// One-call postmortem artifact: serializes the refreshed metrics
+    /// snapshot, the journal tail, both slow-path logs, the engine
+    /// configuration, and the committed rule list into a single JSON
+    /// document (`bundle.to_json()`).
+    pub fn debug_bundle(&self) -> DebugBundle {
+        let mut bundle = DebugBundle::from_telemetry(&self.telemetry, 512);
+        // Replace the raw snapshot with the instance-refreshed one so
+        // cache/rule/queue gauges are current.
+        bundle.metrics = self.telemetry_snapshot();
+        let c = &self.config;
+        bundle.config = vec![
+            ("n_shards".to_string(), c.n_shards.to_string()),
+            (
+                "routing".to_string(),
+                format!("\"{}\"", json_escape(&format!("{:?}", c.routing))),
+            ),
+            (
+                "balance_every_writes".to_string(),
+                c.balance_every_writes.to_string(),
+            ),
+            (
+                "refresh_buffer_docs".to_string(),
+                c.refresh_buffer_docs.to_string(),
+            ),
+            ("parallelism".to_string(), c.parallelism.to_string()),
+            (
+                "query_cache_bytes".to_string(),
+                c.query_cache_bytes.to_string(),
+            ),
+            (
+                "request_cache_entries".to_string(),
+                c.request_cache_entries.to_string(),
+            ),
+            (
+                "trace_sample_every".to_string(),
+                c.telemetry.trace_sample_every.to_string(),
+            ),
+            (
+                "slow_query_threshold_us".to_string(),
+                c.telemetry.slow_query_threshold_us.to_string(),
+            ),
+            (
+                "slow_write_threshold_us".to_string(),
+                c.telemetry.slow_write_threshold_us.to_string(),
+            ),
+            (
+                "tail_capture".to_string(),
+                c.telemetry.tail_capture.to_string(),
+            ),
+            (
+                "journal_capacity".to_string(),
+                c.telemetry.journal_capacity.to_string(),
+            ),
+        ];
+        bundle.rules = {
+            let rules = self.rules.read();
+            let mut out = String::from("[");
+            for (i, r) in rules.rules().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let tenants: Vec<String> = r.tenants.iter().map(|t| t.0.to_string()).collect();
+                out.push_str(&format!(
+                    "{{\"effective_time\": {}, \"offset\": {}, \"tenants\": [{}]}}",
+                    r.effective_time,
+                    r.offset,
+                    tenants.join(", ")
+                ));
+            }
+            out.push(']');
+            out
+        };
+        bundle
+    }
+
     /// Point-in-time snapshot of every metric, for Prometheus text or
     /// JSON exposition. Instance-level gauges — cache counters, active
     /// rules, per-shard busy time — are refreshed into the registry
@@ -1046,7 +1154,7 @@ fn write_one(ws: &WriteState, op: WriteOp) -> Result<ShardId> {
     let t0 = ws.timers.as_ref().map(|_| Instant::now());
     let (tenant, record, created_at) = op.routing();
     let shard = ws.router.route(tenant, record, created_at);
-    let out = submit_group(ws, shard, vec![op], false);
+    let out = submit_group(ws, shard, vec![op], false, 0);
     if let Some(e) = out.first_err {
         return Err(e);
     }
@@ -1067,7 +1175,11 @@ fn write_batch_shared(
     ops: Vec<WriteOp>,
 ) -> Result<BatchApplied> {
     let t0 = ws.timers.as_ref().map(|_| Instant::now());
-    let trace = ws.telemetry.should_trace().then(QueryTrace::new);
+    // Same tail-capture split as the query path: every batch buffers a
+    // span tree when tail capture is on; only head-sampled batches feed
+    // the per-stage histograms.
+    let (capture, sampled) = ws.telemetry.trace_decision();
+    let trace = capture.then(QueryTrace::new);
     // Route every op up front into a pre-sized bucket table indexed by
     // shard — O(ops) assembly no matter how many shards are hit.
     // Grouping preserves arrival order within each shard, which is all
@@ -1093,12 +1205,13 @@ fn write_batch_shared(
         .map(|(s, ops)| (ShardId(s as u32), Mutex::new(Some(ops))))
         .collect();
     let trace_ref = trace.as_ref();
+    let trace_id = trace_ref.map_or(0, QueryTrace::trace_id);
     // Each group applies as far as it can; a failing op stops its own
     // shard's group but other shards still land and are accounted.
     let outcomes: Vec<GroupOutcome> = executor.map(&groups, |_, (shard, cell)| {
         let _span = trace_ref.map(|t| t.span_for_shard("apply", 0, Some(shard.0)));
         let ops = cell.lock().take().expect("each group is submitted once");
-        submit_group(ws, *shard, ops, true)
+        submit_group(ws, *shard, ops, true, trace_id)
     });
     let mut applied = BatchApplied::default();
     let mut first_err = None;
@@ -1113,8 +1226,10 @@ fn write_batch_shared(
         t.batch_total.record(elapsed_ns(t0));
     }
     if let Some(trace) = trace {
-        ws.telemetry
-            .record_stages("esdb_write_stage_ns", &trace.into_samples());
+        if sampled {
+            ws.telemetry
+                .record_stages("esdb_write_stage_ns", &trace.into_samples());
+        }
     }
     maybe_rebalance_shared(ws);
     // The first error (by shard order) surfaces only after every
@@ -1137,6 +1252,7 @@ fn submit_group(
     shard: ShardId,
     ops: Vec<WriteOp>,
     stop_on_error: bool,
+    trace_id: u64,
 ) -> GroupOutcome {
     let slot = &ws.shards[shard.index()];
     let done = Arc::new(GroupDone::default());
@@ -1155,9 +1271,9 @@ fn submit_group(
             return out;
         }
         if let Some(mut engine) = slot.engine.try_write() {
-            record_lock_wait(ws, &mut wait_t0);
+            let waited_ns = record_lock_wait(ws, &mut wait_t0);
             let t0 = Instant::now();
-            drain_write_queue(ws, shard, &mut engine);
+            drain_write_queue(ws, shard, &mut engine, waited_ns, trace_id);
             slot.busy_micros
                 .fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
             drop(engine);
@@ -1180,10 +1296,16 @@ fn submit_group(
 }
 
 /// Charges a contended submission's block-to-resolution wait to the
-/// lock-wait histogram, at most once (`take` empties the cell).
-fn record_lock_wait(ws: &WriteState, wait_t0: &mut Option<Instant>) {
+/// lock-wait histogram, at most once (`take` empties the cell). Returns
+/// the recorded wait in nanoseconds (0 when uncontended), so a leader
+/// can stamp its drain's journal event and slow-write entry with it.
+fn record_lock_wait(ws: &WriteState, wait_t0: &mut Option<Instant>) -> u64 {
     if let (Some(t), Some(t0)) = (&ws.timers, wait_t0.take()) {
-        t.lock_wait.record(elapsed_ns(t0));
+        let ns = elapsed_ns(t0);
+        t.lock_wait.record(ns);
+        ns
+    } else {
+        0
     }
 }
 
@@ -1193,15 +1315,23 @@ fn record_lock_wait(ws: &WriteState, wait_t0: &mut Option<Instant>) {
 /// submitter's cell. Loops until the queue is observed empty, so every
 /// writer that parked behind this leader is served by the same lock
 /// acquisition — hot-shard contention becomes batching.
-fn drain_write_queue(ws: &WriteState, shard: ShardId, engine: &mut ShardEngine) {
+fn drain_write_queue(
+    ws: &WriteState,
+    shard: ShardId,
+    engine: &mut ShardEngine,
+    leader_wait_ns: u64,
+    trace_id: u64,
+) {
     let slot = &ws.shards[shard.index()];
     loop {
         let groups: Vec<PendingGroup> = slot.write_queue.lock().drain(..).collect();
         if groups.is_empty() {
             return;
         }
+        let n_groups = groups.len() as u32;
+        let total: u64 = groups.iter().map(|g| g.ops.len() as u64).sum();
+        let drain_t0 = ws.timers.as_ref().map(|_| Instant::now());
         if let Some(t) = &ws.timers {
-            let total: u64 = groups.iter().map(|g| g.ops.len() as u64).sum();
             if total == 1 {
                 // Uncontended single-op drain: one relaxed add; flushed
                 // into the histogram lazily by `telemetry_snapshot`.
@@ -1210,6 +1340,7 @@ fn drain_write_queue(ws: &WriteState, shard: ShardId, engine: &mut ShardEngine) 
                 t.group_size.record(total);
             }
         }
+        let mut translog_bytes = 0u64;
         for group in groups {
             let results = engine.apply_group(&group.ops, group.stop_on_error);
             let mut applied = 0usize;
@@ -1222,11 +1353,13 @@ fn drain_write_queue(ws: &WriteState, shard: ShardId, engine: &mut ShardEngine) 
                     Ok(()) => {
                         applied += 1;
                         let (tenant, _, _) = op.routing();
+                        let bytes = op.doc.approx_size() as u64;
+                        translog_bytes += bytes;
                         ws.monitor.record_write(
                             tenant,
                             shard,
                             NodeId(shard.0 % ws.node_count),
-                            op.doc.approx_size() as u64,
+                            bytes,
                         );
                     }
                     Err(e) => {
@@ -1246,6 +1379,36 @@ fn drain_write_queue(ws: &WriteState, shard: ShardId, engine: &mut ShardEngine) 
                 }
             }
             group.done.set(GroupOutcome { applied, first_err });
+        }
+        if let (Some(t), Some(t0)) = (&ws.timers, drain_t0) {
+            let drain_ns = elapsed_ns(t0);
+            t.drain_total.record(drain_ns);
+            // Contended drains (more than one op coalesced) are the
+            // interesting group-commit signal; solo drains stay off the
+            // journal so the uncontended fast path adds no lock work.
+            if total > 1 {
+                ws.telemetry.emit(
+                    EventKind::GroupCommitDrain {
+                        shard: shard.0,
+                        groups: n_groups,
+                        ops: total as u32,
+                        lock_wait_ns: leader_wait_ns,
+                    },
+                    Labels::shard(shard.0),
+                    NO_PARENT,
+                );
+            }
+            if drain_ns >= ws.telemetry.slow_write_threshold_ns() {
+                ws.telemetry.log_slow_write(SlowWriteEntry {
+                    trace_id,
+                    shard: shard.0,
+                    group_size: n_groups,
+                    ops: total as u32,
+                    lock_wait_ns: leader_wait_ns,
+                    translog_bytes,
+                    total_ns: drain_ns,
+                });
+            }
         }
     }
 }
@@ -1282,13 +1445,58 @@ fn rebalance_pass(ws: &WriteState) -> usize {
     if !ws.dynamic_routing {
         return 0;
     }
+    // Journal the epoch bracket so the flight recorder shows who claimed
+    // the pass and what it committed; the rule events parent onto the
+    // balancer's hot-tenant detections.
+    let claim = ws.telemetry.enabled().then(|| {
+        let epoch = ws.rebalance_epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        let seq = ws.telemetry.emit(
+            EventKind::RebalanceEpochClaimed { epoch },
+            Labels::none(),
+            NO_PARENT,
+        );
+        (epoch, seq)
+    });
     let period = ws.monitor.take_period();
     let proposals = ws.balancer.lock().on_period(&period);
     let committed = proposals.len();
     if committed > 0 {
         let t = ws.clock.now();
+        let commit_t0 = claim.map(|_| Instant::now());
         let mut rules = ws.rules.write();
+        // Spans before the commit, read under the same write-lock hold
+        // so the old→new transition is exact.
+        let old_spans: Vec<u32> = proposals
+            .iter()
+            .map(|p| rules.offset_for_write(p.tenant, t))
+            .collect();
         LoadBalancer::commit_direct(&proposals, &mut rules, t);
+        drop(rules);
+        if claim.is_some() {
+            let commit_wait_ns = commit_t0.map_or(0, elapsed_ns);
+            for (p, old_span) in proposals.iter().zip(old_spans) {
+                ws.telemetry.emit(
+                    EventKind::RuleAppended {
+                        tenant: p.tenant.0,
+                        old_span,
+                        new_span: p.offset,
+                        commit_wait_ns,
+                    },
+                    Labels::tenant(p.tenant.0),
+                    p.detected_seq,
+                );
+            }
+        }
+    }
+    if let Some((epoch, claim_seq)) = claim {
+        ws.telemetry.emit(
+            EventKind::RebalanceEpochCompleted {
+                epoch,
+                rules_committed: committed as u32,
+            },
+            Labels::none(),
+            claim_seq,
+        );
     }
     committed
 }
@@ -1399,30 +1607,38 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
     }
     rp.queries_total.fetch_add(1, Ordering::Relaxed);
     let t0 = rp.timers.map(|_| Instant::now());
-    let trace = rp.telemetry.should_trace().then(QueryTrace::new);
+    // Tail-based capture: head-sampled queries feed the per-stage
+    // histograms; with tail capture on, *every* query buffers its span
+    // tree so a slow one keeps the full trace even when unsampled.
+    let (capture, sampled) = rp.telemetry.trace_decision();
+    let trace = capture.then(QueryTrace::new);
     // Record sub-attribute usage for frequency-based indexing (shared
     // tracker — no engine lock).
     record_attr_usage(&query.filter, rp.shards);
     // Route: the tenant's span when the filter pins `tenant_id`,
-    // otherwise every shard.
-    let span = {
-        let _span = trace.as_ref().map(|t| t.span("route", 0));
-        match extract_tenant(&query.filter) {
-            Some(tenant) => rp.router.span(tenant, rp.clock.now()),
-            None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
-        }
+    // otherwise every shard. The route and plan stages share clock
+    // reads at their boundary and land in one batched push.
+    let t_route = trace.as_ref().map(QueryTrace::now_ns);
+    let span = match extract_tenant(&query.filter) {
+        Some(tenant) => rp.router.span(tenant, rp.clock.now()),
+        None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
     };
     // Plan once per query: plans depend only on the filter and the
     // schema, so every shard of the fan-out shares one plan (and one
     // fingerprint annotation).
-    let plan = {
-        let _span = trace.as_ref().map(|t| t.span("plan", 0));
-        if opts.use_optimizer {
-            optimize(&query.filter, rp.schema)
-        } else {
-            naive_plan(&query.filter)
-        }
+    let t_plan = trace.as_ref().map(QueryTrace::now_ns);
+    let plan = if opts.use_optimizer {
+        optimize(&query.filter, rp.schema)
+    } else {
+        naive_plan(&query.filter)
     };
+    if let (Some(t), Some(r0), Some(p0)) = (trace.as_ref(), t_route, t_plan) {
+        let end = t.now_ns();
+        t.record_span_batch(&[
+            ("route", 0, None, r0, p0.saturating_sub(r0)),
+            ("plan", 0, None, p0, end.saturating_sub(p0)),
+        ]);
+    }
     let prepared = PreparedPlan::new(&plan);
     let fp = query_fingerprint(&plan, &query);
     // Executor choice is made once per query, from the plan shape alone:
@@ -1447,7 +1663,6 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
         // cache probes, posting intersection, and row materialization
         // below all run against the immutable view.
         let snap = slot.snapshots.pin();
-        let t_exec = trace_ref.map(|_| Instant::now());
         // Tier 2: the whole per-shard result. The generation is read
         // out of the *pinned* snapshot, so key and data always travel
         // together — a concurrent refresh between pin and probe cannot
@@ -1455,9 +1670,12 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
         // versa).
         let key: RequestCacheKey = (shard.0, snap.search_generation(), fp);
         let hit = rp.request_cache.and_then(|rc| rc.get(&key));
-        if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
-            t.record("cache_probe", 0, Some(shard.0), elapsed_ns(t0));
-        }
+        // The probe/execute boundary is the one per-shard instant the
+        // busy-accounting reads can't supply. Head-sampled traces pay
+        // the extra clock read for the fine-grained `cache_probe` stage
+        // (it feeds the per-stage histograms); capture-only traces keep
+        // the coarse tree — every stage a slow query needs — for free.
+        let t_probe = trace_ref.filter(|_| sampled).map(QueryTrace::now_ns);
         let rows = match hit {
             Some(hit) => (*hit).clone(),
             None => {
@@ -1484,24 +1702,41 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
                 rows
             }
         };
-        // Block set operations report their own wall time as a stage, so
-        // slow-query traces show where skip-pruning spent (or saved) it.
-        if let Some(t) = trace_ref {
-            if use_blocks {
-                t.record("block_prune", 0, Some(shard.0), rows.block_prune_ns);
-            }
-        }
         // Every shard of the fan-out reports an execute sample — cache
         // hits and empty result sets included — so a gather over k
         // shards always sees exactly k samples and per-shard timing
-        // never has holes.
-        if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
-            t.record("execute", 0, Some(shard.0), elapsed_ns(t0));
+        // never has holes. Block set operations report their own wall
+        // time as a stage, so slow-query traces show where skip-pruning
+        // spent (or saved) it. Span boundaries reuse the busy-accounting
+        // clock reads (plus one mid read at the probe boundary) and all
+        // of this shard's samples land in a single batched push, so tail
+        // capture adds one clock read per shard, not one per stage.
+        let t_end = Instant::now();
+        if let Some(t) = trace_ref {
+            let s0 = t.offset_of(t_busy);
+            let end = t.offset_of(t_end);
+            let sh = Some(shard.0);
+            let mut batch = [("", 0, sh, 0, 0); 3];
+            let mut n = 0;
+            if let Some(probe_end) = t_probe {
+                batch[n] = ("cache_probe", 0, sh, s0, probe_end.saturating_sub(s0));
+                n += 1;
+            }
+            if use_blocks {
+                let prune = rows.block_prune_ns;
+                batch[n] = ("block_prune", 0, sh, end.saturating_sub(prune), prune);
+                n += 1;
+            }
+            batch[n] = ("execute", 0, sh, s0, end.saturating_sub(s0));
+            n += 1;
+            t.record_span_batch(&batch[..n]);
         }
         // Lock-free execution still serves this shard's data, so the
         // time is charged to its busy counter explicitly.
-        slot.busy_micros
-            .fetch_add(t_busy.elapsed().as_micros() as u64, Ordering::Relaxed);
+        slot.busy_micros.fetch_add(
+            t_end.duration_since(t_busy).as_micros() as u64,
+            Ordering::Relaxed,
+        );
         rows
     });
     let merged = {
@@ -1513,15 +1748,22 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
     if let (Some(t), Some(ns)) = (rp.timers, total_ns) {
         t.query_total.record(ns);
     }
+    let trace_id = trace.as_ref().map_or(0, QueryTrace::trace_id);
     let samples = trace.map(QueryTrace::into_samples);
-    if let Some(samples) = &samples {
-        rp.telemetry.record_stages("esdb_query_stage_ns", samples);
+    // Histogram feeding keeps the 1-in-N head-sampling volume; the
+    // buffered span tree of an unsampled query exists only to ride
+    // along with a slow-log entry (or be dropped for free).
+    if sampled {
+        if let Some(samples) = &samples {
+            rp.telemetry.record_stages("esdb_query_stage_ns", samples);
+        }
     }
     // Slow-query detection is always on when telemetry is enabled;
-    // per-stage timings ride along only for trace-sampled queries.
+    // under tail capture the span tree is always populated.
     if let Some(ns) = total_ns {
         if ns >= rp.telemetry.slow_threshold_ns() {
             rp.telemetry.log_slow(SlowQueryEntry {
+                trace_id,
                 sql: sql.to_string(),
                 plan: plan.to_string(),
                 fingerprint: fp,
@@ -1557,23 +1799,27 @@ fn run_agg_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<Agg
     }
     rp.queries_total.fetch_add(1, Ordering::Relaxed);
     let t0 = rp.timers.map(|_| Instant::now());
-    let trace = rp.telemetry.should_trace().then(QueryTrace::new);
+    let (capture, sampled) = rp.telemetry.trace_decision();
+    let trace = capture.then(QueryTrace::new);
     record_attr_usage(&query.filter, rp.shards);
-    let span = {
-        let _span = trace.as_ref().map(|t| t.span("route", 0));
-        match extract_tenant(&query.filter) {
-            Some(tenant) => rp.router.span(tenant, rp.clock.now()),
-            None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
-        }
+    let t_route = trace.as_ref().map(QueryTrace::now_ns);
+    let span = match extract_tenant(&query.filter) {
+        Some(tenant) => rp.router.span(tenant, rp.clock.now()),
+        None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
     };
-    let plan = {
-        let _span = trace.as_ref().map(|t| t.span("plan", 0));
-        if opts.use_optimizer {
-            optimize(&query.filter, rp.schema)
-        } else {
-            naive_plan(&query.filter)
-        }
+    let t_plan = trace.as_ref().map(QueryTrace::now_ns);
+    let plan = if opts.use_optimizer {
+        optimize(&query.filter, rp.schema)
+    } else {
+        naive_plan(&query.filter)
     };
+    if let (Some(t), Some(r0), Some(p0)) = (trace.as_ref(), t_route, t_plan) {
+        let end = t.now_ns();
+        t.record_span_batch(&[
+            ("route", 0, None, r0, p0.saturating_sub(r0)),
+            ("plan", 0, None, p0, end.saturating_sub(p0)),
+        ]);
+    }
     let prepared = PreparedPlan::new(&plan);
     let fp = query_fingerprint(&plan, &query);
     let pushdown = opts.block_execution
@@ -1588,7 +1834,6 @@ fn run_agg_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<Agg
             let slot = &rp.shards[shard.index()];
             let t_busy = Instant::now();
             let snap = slot.snapshots.pin();
-            let t_exec = trace_ref.map(|_| Instant::now());
             let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
                 cache,
                 shard: shard.0,
@@ -1599,12 +1844,23 @@ fn run_agg_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<Agg
                 snap.as_ref(),
                 ctx.as_ref(),
             );
-            if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
-                t.record("block_prune", 0, Some(shard.0), part.block_prune_ns);
-                t.record("execute", 0, Some(shard.0), elapsed_ns(t0));
+            // Span boundaries reuse the busy-accounting clock reads:
+            // tail capture costs this closure zero extra `now` calls.
+            let t_end = Instant::now();
+            if let Some(t) = trace_ref {
+                let s0 = t.offset_of(t_busy);
+                let end = t.offset_of(t_end);
+                let sh = Some(shard.0);
+                let prune = part.block_prune_ns;
+                t.record_span_batch(&[
+                    ("block_prune", 0, sh, end.saturating_sub(prune), prune),
+                    ("execute", 0, sh, s0, end.saturating_sub(s0)),
+                ]);
             }
-            slot.busy_micros
-                .fetch_add(t_busy.elapsed().as_micros() as u64, Ordering::Relaxed);
+            slot.busy_micros.fetch_add(
+                t_end.duration_since(t_busy).as_micros() as u64,
+                Ordering::Relaxed,
+            );
             part
         });
         let _span = trace_ref.map(|t| t.span("gather", 0));
@@ -1631,18 +1887,22 @@ fn run_agg_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<Agg
             let slot = &rp.shards[shard.index()];
             let t_busy = Instant::now();
             let snap = slot.snapshots.pin();
-            let t_exec = trace_ref.map(|_| Instant::now());
             let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
                 cache,
                 shard: shard.0,
             });
             let rows =
                 execute_prepared_on_snapshot(row_query, prepared, snap.as_ref(), ctx.as_ref());
-            if let (Some(t), Some(t0)) = (trace_ref, t_exec) {
-                t.record("execute", 0, Some(shard.0), elapsed_ns(t0));
+            let t_end = Instant::now();
+            if let Some(t) = trace_ref {
+                let s0 = t.offset_of(t_busy);
+                let end = t.offset_of(t_end);
+                t.record_span("execute", 0, Some(shard.0), s0, end.saturating_sub(s0));
             }
-            slot.busy_micros
-                .fetch_add(t_busy.elapsed().as_micros() as u64, Ordering::Relaxed);
+            slot.busy_micros.fetch_add(
+                t_end.duration_since(t_busy).as_micros() as u64,
+                Ordering::Relaxed,
+            );
             rows
         });
         let _span = trace_ref.map(|t| t.span("gather", 0));
@@ -1662,13 +1922,17 @@ fn run_agg_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<Agg
     if let (Some(t), Some(ns)) = (rp.timers, total_ns) {
         t.agg_total.record(ns);
     }
+    let trace_id = trace.as_ref().map_or(0, QueryTrace::trace_id);
     let samples = trace.map(QueryTrace::into_samples);
-    if let Some(samples) = &samples {
-        rp.telemetry.record_stages("esdb_query_stage_ns", samples);
+    if sampled {
+        if let Some(samples) = &samples {
+            rp.telemetry.record_stages("esdb_query_stage_ns", samples);
+        }
     }
     if let Some(ns) = total_ns {
         if ns >= rp.telemetry.slow_threshold_ns() {
             rp.telemetry.log_slow(SlowQueryEntry {
+                trace_id,
                 sql: sql.to_string(),
                 plan: plan.to_string(),
                 fingerprint: fp,

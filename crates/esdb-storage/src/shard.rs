@@ -9,7 +9,7 @@ use esdb_common::Result;
 use esdb_doc::{CollectionSchema, Document, WriteKind, WriteOp};
 use esdb_index::merge::merge_segments;
 use esdb_index::{AttrFrequencyTracker, MergePolicy, Segment, SegmentId, TieredMergePolicy};
-use esdb_telemetry::{Histogram, Labels, Telemetry};
+use esdb_telemetry::{EventKind, Histogram, Labels, Telemetry, NO_PARENT};
 use parking_lot::Mutex;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -91,6 +91,18 @@ impl StageTimers {
             flush: h("flush"),
             telemetry,
         }
+    }
+
+    /// Journals a maintenance event (refresh/merge/flush), labeled by
+    /// the shard the event names.
+    fn emit_segment_event(&self, kind: EventKind) {
+        let shard = match kind {
+            EventKind::SegmentRefresh { shard, .. }
+            | EventKind::SegmentMerge { shard, .. }
+            | EventKind::SegmentFlush { shard, .. } => shard,
+            _ => unreachable!("only segment maintenance events route here"),
+        };
+        self.telemetry.emit(kind, Labels::shard(shard), NO_PARENT);
     }
 }
 
@@ -361,6 +373,10 @@ impl ShardEngine {
         self.maybe_publish();
         if let (Some(t), Some(t0)) = (&self.timers, t0) {
             t.refresh.record(ns_since(t0));
+            t.emit_segment_event(EventKind::SegmentRefresh {
+                shard: self.config.shard,
+                segments: self.segments.len() as u32,
+            });
         }
         Some(id)
     }
@@ -407,6 +423,11 @@ impl ShardEngine {
         self.maybe_publish();
         if let (Some(t), Some(t0)) = (&self.timers, t0) {
             t.merge.record(ns_since(t0));
+            t.emit_segment_event(EventKind::SegmentMerge {
+                shard: self.config.shard,
+                merged: ids.len() as u32,
+                segments: self.segments.len() as u32,
+            });
         }
         new_id
     }
@@ -433,6 +454,10 @@ impl ShardEngine {
         }
         if let (Some(t), Some(t0)) = (&self.timers, t0) {
             t.flush.record(ns_since(t0));
+            t.emit_segment_event(EventKind::SegmentFlush {
+                shard: self.config.shard,
+                segments: self.segments.len() as u32,
+            });
         }
         Ok(())
     }

@@ -9,6 +9,7 @@
 
 use crate::histogram::HistogramSnapshot;
 use crate::registry::{Labels, Metric, MetricsRegistry};
+use crate::slowlog::{SlowQueryEntry, SlowWriteEntry};
 
 /// Quantiles every histogram reports.
 const QUANTILES: [(&str, f64); 4] = [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
@@ -22,6 +23,12 @@ pub struct TelemetrySnapshot {
     pub gauges: Vec<(String, Labels, i64)>,
     /// Histograms: `(name, labels, snapshot)`, sorted.
     pub histograms: Vec<(String, Labels, HistogramSnapshot)>,
+    /// Slow-query log contents at snapshot time (filled by
+    /// `Telemetry::snapshot`; empty for bare registry snapshots). Not
+    /// part of the Prometheus/JSON series renderings.
+    pub slow_queries: Vec<SlowQueryEntry>,
+    /// Slow-write log contents at snapshot time (same caveats).
+    pub slow_writes: Vec<SlowWriteEntry>,
 }
 
 impl TelemetrySnapshot {
@@ -202,7 +209,7 @@ fn render_labels(labels: &Labels, le: Option<&str>) -> String {
     }
 }
 
-fn json_labels(labels: &Labels) -> String {
+pub(crate) fn json_labels(labels: &Labels) -> String {
     let mut parts: Vec<String> = Vec::new();
     if let Some(t) = labels.tenant {
         parts.push(format!("\"tenant\": {t}"));

@@ -1,6 +1,9 @@
 //! End-to-end telemetry for ESDB-RS: a sharded, atomic-hot-path metrics
 //! registry, log-bucketed latency histograms, lightweight tracing spans,
-//! a ring-buffer slow-query log, and Prometheus/JSON exposition.
+//! ring-buffer slow-query/slow-write logs, a causally-linked event
+//! journal ([`journal`]), Chrome-trace/structured-JSON trace exporters
+//! ([`trace_export`]), a one-call postmortem [`bundle::DebugBundle`],
+//! and Prometheus/JSON exposition.
 //!
 //! The paper's balancing loop is measurement-driven — the workload
 //! monitor's per-tenant/shard/node counters (Fig. 3, Algorithm 1) feed
@@ -23,18 +26,24 @@
 //! - **One interpolation rule.** All bucketed quantiles in the codebase
 //!   come from [`histogram`], which documents the rule once.
 
+pub mod bundle;
 pub mod expo;
 pub mod histogram;
+pub mod journal;
 pub mod registry;
 pub mod slowlog;
 pub mod span;
 mod telemetry;
+pub mod trace_export;
 
+pub use bundle::{json_escape, DebugBundle};
 pub use expo::{
     json_histogram_counts, lint_prometheus, prometheus_histogram_counts, TelemetrySnapshot,
 };
 pub use histogram::{quantile, quantile_sorted, Histogram, HistogramSnapshot};
+pub use journal::{events_to_json, unresolved_parents, Event, EventKind, Journal, NO_PARENT};
 pub use registry::{Counter, Gauge, Labels, Metric, MetricsRegistry};
-pub use slowlog::{SlowQueryEntry, SlowQueryLog};
+pub use slowlog::{SlowQueryEntry, SlowQueryLog, SlowWriteEntry, SlowWriteLog};
 pub use span::{QueryTrace, Span, StageSample};
 pub use telemetry::{Telemetry, TelemetryConfig};
+pub use trace_export::{chrome_trace_json, trace_json};

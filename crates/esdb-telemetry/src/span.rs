@@ -3,16 +3,24 @@
 //! into the same trace during scatter-gather.
 //!
 //! A [`QueryTrace`] is created per traced request (query or write
-//! batch). Stages open a [`Span`] with `trace.span(stage, parent)`; the
-//! span records its duration into the trace when dropped (or explicitly
-//! via [`Span::finish`]). Span IDs are small integers unique within the
-//! trace; `parent == 0` marks root spans. After the request completes,
-//! the collected [`StageSample`]s are fed into the metrics registry
-//! (per-stage histograms) and/or attached to a slow-query log entry.
+//! batch) and carries a **process-unique trace id** so a slow-log
+//! entry, a Chrome-trace export and a journal line can all be joined on
+//! one number. Stages open a [`Span`] with `trace.span(stage, parent)`;
+//! the span records its duration into the trace when dropped (or
+//! explicitly via [`Span::finish`]). Span IDs are small integers unique
+//! within the trace; `parent == 0` marks root spans. Every sample also
+//! records its **start offset** from the trace origin, so exporters
+//! ([`crate::trace_export`]) can lay spans on a real timeline instead of
+//! only knowing durations. After the request completes, the collected
+//! [`StageSample`]s are fed into the metrics registry (per-stage
+//! histograms) and/or attached to a slow-query log entry.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Process-wide trace-id allocator (ids start at 1).
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,25 +33,67 @@ pub struct StageSample {
     pub parent: u64,
     /// Shard the stage ran against, when per-shard.
     pub shard: Option<u32>,
+    /// Start offset from the trace origin in nanoseconds.
+    pub start_ns: u64,
     /// Wall-clock duration in nanoseconds.
     pub dur_ns: u64,
 }
 
 /// Per-request span collector. Cheap to create; shareable across the
 /// scoped threads of a scatter-gather fan-out.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct QueryTrace {
+    trace_id: u64,
+    origin: Instant,
     next_id: AtomicU64,
     samples: Mutex<Vec<StageSample>>,
 }
 
+impl Default for QueryTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl QueryTrace {
-    /// Empty trace.
+    /// Empty trace with a fresh process-unique id.
     pub fn new() -> Self {
         QueryTrace {
+            trace_id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            origin: Instant::now(),
             next_id: AtomicU64::new(1),
-            samples: Mutex::new(Vec::with_capacity(8)),
+            // A scatter-gather over 8 shards records ~3 samples per
+            // shard plus the root stages; start big enough that the
+            // common case never reallocates under the lock.
+            samples: Mutex::new(Vec::with_capacity(32)),
         }
+    }
+
+    /// The process-unique trace id.
+    #[inline]
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Nanoseconds elapsed since the trace origin. Public so hot paths
+    /// can time several stages off one clock read via
+    /// [`QueryTrace::record_span`].
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Converts an already-read [`Instant`] into a trace-origin offset
+    /// without touching the clock. Hot paths that time themselves for
+    /// other reasons (per-shard busy accounting) reuse those reads for
+    /// span boundaries — on hosts where `clock_gettime` costs tens of
+    /// nanoseconds this is what keeps tail capture inside its overhead
+    /// budget. Saturates to zero for instants before the origin.
+    #[inline]
+    pub fn offset_of(&self, at: Instant) -> u64 {
+        at.duration_since(self.origin)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64
     }
 
     /// Opens a span for `stage` under `parent` (0 = root). Timing starts
@@ -60,13 +110,30 @@ impl QueryTrace {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             parent,
             shard,
-            start: Instant::now(),
+            start_ns: self.now_ns(),
         }
     }
 
     /// Records an externally-timed sample (used when a duration is
     /// measured without holding a `Span`, e.g. satellite-path timings).
+    /// The start offset is derived as "now minus duration".
     pub fn record(&self, stage: &'static str, parent: u64, shard: Option<u32>, dur_ns: u64) {
+        let start_ns = self.now_ns().saturating_sub(dur_ns);
+        self.record_span(stage, parent, shard, start_ns, dur_ns);
+    }
+
+    /// Records a sample from trace-origin offsets with **no clock
+    /// read** — the caller times one or more stages off a shared
+    /// [`QueryTrace::now_ns`] pair. This keeps tail-based capture cheap
+    /// enough to run on every request.
+    pub fn record_span(
+        &self,
+        stage: &'static str,
+        parent: u64,
+        shard: Option<u32>,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.samples
             .lock()
@@ -76,8 +143,35 @@ impl QueryTrace {
                 id,
                 parent,
                 shard,
+                start_ns,
                 dur_ns,
             });
+    }
+
+    /// Records several externally-timed samples with one id allocation
+    /// and one lock acquisition. The per-shard hot path batches its
+    /// probe/prune/execute samples through here so tail-based capture
+    /// pays one mutex round-trip per shard, not one per stage. Each
+    /// entry is `(stage, parent, shard, start_ns, dur_ns)` in
+    /// trace-origin offsets.
+    pub fn record_span_batch(&self, spans: &[(&'static str, u64, Option<u32>, u64, u64)]) {
+        if spans.is_empty() {
+            return;
+        }
+        let first = self
+            .next_id
+            .fetch_add(spans.len() as u64, Ordering::Relaxed);
+        let mut samples = self.samples.lock().expect("trace samples");
+        for (i, &(stage, parent, shard, start_ns, dur_ns)) in spans.iter().enumerate() {
+            samples.push(StageSample {
+                stage,
+                id: first + i as u64,
+                parent,
+                shard,
+                start_ns,
+                dur_ns,
+            });
+        }
     }
 
     /// Consumes the trace, returning samples ordered by completion time.
@@ -99,7 +193,7 @@ pub struct Span<'a> {
     id: u64,
     parent: u64,
     shard: Option<u32>,
-    start: Instant,
+    start_ns: u64,
 }
 
 impl Span<'_> {
@@ -114,7 +208,9 @@ impl Span<'_> {
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        let dur_ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        // One clock read, shared with the start offset's origin; span
+        // open + close is two reads total, not three.
+        let dur_ns = self.trace.now_ns().saturating_sub(self.start_ns);
         self.trace
             .samples
             .lock()
@@ -124,6 +220,7 @@ impl Drop for Span<'_> {
                 id: self.id,
                 parent: self.parent,
                 shard: self.shard,
+                start_ns: self.start_ns,
                 dur_ns,
             });
     }
@@ -149,6 +246,16 @@ mod tests {
         assert_eq!(samples[0].parent, root_id);
         assert_eq!(samples[1].stage, "query");
         assert_eq!(samples[1].parent, 0);
+        // The child started at or after the root.
+        assert!(samples[0].start_ns >= samples[1].start_ns);
+    }
+
+    #[test]
+    fn trace_ids_are_process_unique() {
+        let a = QueryTrace::new();
+        let b = QueryTrace::new();
+        assert_ne!(a.trace_id(), b.trace_id());
+        assert_ne!(a.trace_id(), 0);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! The `Telemetry` facade the rest of the stack threads around: one
-//! shared registry, the slow-query log, and the trace-sampling decision.
+//! shared registry, the event journal, the slow-query and slow-write
+//! logs, and the trace-sampling/tail-capture decisions.
 
 use crate::expo::TelemetrySnapshot;
+use crate::journal::{EventKind, Journal};
 use crate::registry::{Labels, MetricsRegistry};
-use crate::slowlog::{SlowQueryEntry, SlowQueryLog};
+use crate::slowlog::{SlowQueryEntry, SlowQueryLog, SlowWriteEntry, SlowWriteLog};
 use crate::span::StageSample;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -12,16 +14,26 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct TelemetryConfig {
     /// Master switch. Off = no spans, no per-stage histograms, no slow
-    /// log, zero extra clock reads on the hot paths.
+    /// logs, no journal, zero extra clock reads on the hot paths.
     pub enabled: bool,
-    /// Trace 1 in N requests with full per-stage spans (total-latency
-    /// histograms and slow-query *detection* are always on when
-    /// `enabled`). 1 traces everything; 0 disables stage tracing.
+    /// Feed per-stage histograms from 1 in N requests (total-latency
+    /// histograms and slow-path *detection* are always on when
+    /// `enabled`). 1 samples everything; 0 disables histogram feeding.
     pub trace_sample_every: u64,
     /// Queries slower than this land in the slow-query log.
     pub slow_query_threshold_us: u64,
-    /// Slow-query ring capacity.
+    /// Group-commit drains slower than this land in the slow-write log.
+    pub slow_write_threshold_us: u64,
+    /// Slow-query / slow-write ring capacity (each).
     pub slow_log_capacity: usize,
+    /// Tail-based capture: when on, *every* request buffers its span
+    /// tree cheaply and promotes it into the slow log on crossing the
+    /// threshold — slow requests always carry full traces even when not
+    /// head-sampled. When off, unsampled slow queries log `stages: []`
+    /// (the pre-flight-recorder behavior).
+    pub tail_capture: bool,
+    /// Event-journal retention (events). 0 disables the journal.
+    pub journal_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -30,7 +42,10 @@ impl Default for TelemetryConfig {
             enabled: true,
             trace_sample_every: 8,
             slow_query_threshold_us: 50_000,
+            slow_write_threshold_us: 50_000,
             slow_log_capacity: 128,
+            tail_capture: true,
+            journal_capacity: 1_024,
         }
     }
 }
@@ -51,6 +66,8 @@ pub struct Telemetry {
     config: TelemetryConfig,
     registry: Arc<MetricsRegistry>,
     slow_log: SlowQueryLog,
+    slow_write_log: SlowWriteLog,
+    journal: Arc<Journal>,
     trace_tick: AtomicU64,
 }
 
@@ -69,15 +86,22 @@ impl Telemetry {
     /// Telemetry over an existing registry (so e.g. the workload monitor
     /// and the query path share one).
     pub fn with_registry(config: TelemetryConfig, registry: Arc<MetricsRegistry>) -> Self {
-        let slow_log = SlowQueryLog::new(if config.enabled {
+        let cap = if config.enabled {
             config.slow_log_capacity
         } else {
             0
-        });
+        };
+        let journal = Arc::new(Journal::new(if config.enabled {
+            config.journal_capacity
+        } else {
+            0
+        }));
         Telemetry {
             config,
             registry,
-            slow_log,
+            slow_log: SlowQueryLog::new(cap),
+            slow_write_log: SlowWriteLog::new(cap),
+            journal,
             trace_tick: AtomicU64::new(0),
         }
     }
@@ -103,8 +127,21 @@ impl Telemetry {
         &self.config
     }
 
-    /// Whether the *next* request should carry full per-stage spans
-    /// (1-in-N sampling; the counter is shared across threads).
+    /// The event journal.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
+    }
+
+    /// Emits a journal event; returns its sequence number (0 when the
+    /// journal is disabled).
+    #[inline]
+    pub fn emit(&self, kind: EventKind, labels: Labels, parent_seq: u64) -> u64 {
+        self.journal.emit(kind, labels, parent_seq)
+    }
+
+    /// Whether the *next* request's stage samples should feed the
+    /// per-stage histograms (1-in-N sampling; the counter is shared
+    /// across threads).
     #[inline]
     pub fn should_trace(&self) -> bool {
         if !self.config.enabled || self.config.trace_sample_every == 0 {
@@ -114,10 +151,27 @@ impl Telemetry {
         n == 1 || self.trace_tick.fetch_add(1, Ordering::Relaxed) % n == 0
     }
 
+    /// Whether a request should buffer a span tree at all: head-sampled
+    /// requests feed histograms, and under tail capture *every* request
+    /// buffers so slow ones keep their trace. Returns
+    /// `(capture, sampled)`.
+    #[inline]
+    pub fn trace_decision(&self) -> (bool, bool) {
+        let sampled = self.should_trace();
+        let capture = sampled || (self.config.enabled && self.config.tail_capture);
+        (capture, sampled)
+    }
+
     /// Slow-query threshold in nanoseconds.
     #[inline]
     pub fn slow_threshold_ns(&self) -> u64 {
         self.config.slow_query_threshold_us.saturating_mul(1_000)
+    }
+
+    /// Slow-write (group-drain) threshold in nanoseconds.
+    #[inline]
+    pub fn slow_write_threshold_ns(&self) -> u64 {
+        self.config.slow_write_threshold_us.saturating_mul(1_000)
     }
 
     /// Records a finished request's stage samples into per-stage
@@ -135,14 +189,28 @@ impl Telemetry {
         self.slow_log.push(entry);
     }
 
+    /// Appends a slow-write entry.
+    pub fn log_slow_write(&self, entry: SlowWriteEntry) {
+        self.slow_write_log.push(entry);
+    }
+
     /// Current slow-query log contents, oldest first.
     pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
         self.slow_log.entries()
     }
 
-    /// Point-in-time snapshot of every metric.
+    /// Current slow-write log contents, oldest first.
+    pub fn slow_writes(&self) -> Vec<SlowWriteEntry> {
+        self.slow_write_log.entries()
+    }
+
+    /// Point-in-time snapshot of every metric, with both slow logs
+    /// attached.
     pub fn snapshot(&self) -> TelemetrySnapshot {
-        TelemetrySnapshot::from_registry(&self.registry)
+        let mut snap = TelemetrySnapshot::from_registry(&self.registry);
+        snap.slow_queries = self.slow_log.snapshot().1;
+        snap.slow_writes = self.slow_write_log.snapshot().1;
+        snap
     }
 }
 
@@ -161,11 +229,38 @@ mod tests {
     }
 
     #[test]
-    fn disabled_never_traces_or_logs() {
+    fn tail_capture_buffers_even_unsampled_requests() {
+        let t = Telemetry::new(TelemetryConfig {
+            trace_sample_every: 1_000_000,
+            tail_capture: true,
+            ..TelemetryConfig::default()
+        });
+        let (capture0, sampled0) = t.trace_decision();
+        assert!(capture0 && sampled0, "first request head-samples");
+        let (capture1, sampled1) = t.trace_decision();
+        assert!(capture1, "tail capture buffers unsampled requests");
+        assert!(!sampled1);
+        let off = Telemetry::new(TelemetryConfig {
+            trace_sample_every: 1_000_000,
+            tail_capture: false,
+            ..TelemetryConfig::default()
+        });
+        off.trace_decision();
+        let (capture, _) = off.trace_decision();
+        assert!(
+            !capture,
+            "without tail capture unsampled requests skip spans"
+        );
+    }
+
+    #[test]
+    fn disabled_never_traces_logs_or_journals() {
         let t = Telemetry::disabled();
         assert!(!t.enabled());
         assert!(!t.should_trace());
+        assert_eq!(t.trace_decision(), (false, false));
         t.log_slow(SlowQueryEntry {
+            trace_id: 0,
             sql: "SELECT 1".into(),
             plan: String::new(),
             fingerprint: 0,
@@ -174,7 +269,22 @@ mod tests {
             total_ns: u64::MAX,
             stages: Vec::new(),
         });
+        t.log_slow_write(SlowWriteEntry {
+            trace_id: 0,
+            shard: 0,
+            group_size: 1,
+            ops: 1,
+            lock_wait_ns: 0,
+            translog_bytes: 0,
+            total_ns: u64::MAX,
+        });
         assert!(t.slow_queries().is_empty());
+        assert!(t.slow_writes().is_empty());
+        assert_eq!(
+            t.emit(EventKind::NodeCrashed { node: 0 }, Labels::none(), 0),
+            0
+        );
+        assert!(t.journal().is_empty());
     }
 
     #[test]
@@ -188,6 +298,7 @@ mod tests {
                     id: 1,
                     parent: 0,
                     shard: None,
+                    start_ns: 0,
                     dur_ns: 500,
                 },
                 StageSample {
@@ -195,6 +306,7 @@ mod tests {
                     id: 2,
                     parent: 1,
                     shard: Some(3),
+                    start_ns: 600,
                     dur_ns: 9_000,
                 },
             ],
@@ -208,5 +320,23 @@ mod tests {
             .expect("execute series");
         assert_eq!(exec.1.shard, Some(3));
         assert_eq!(exec.2.count(), 1);
+    }
+
+    #[test]
+    fn snapshot_carries_slow_logs() {
+        let t = Telemetry::default();
+        t.log_slow_write(SlowWriteEntry {
+            trace_id: 0,
+            shard: 2,
+            group_size: 4,
+            ops: 9,
+            lock_wait_ns: 100,
+            translog_bytes: 640,
+            total_ns: 1,
+        });
+        let snap = t.snapshot();
+        assert!(snap.slow_queries.is_empty());
+        assert_eq!(snap.slow_writes.len(), 1);
+        assert_eq!(snap.slow_writes[0].shard, 2);
     }
 }

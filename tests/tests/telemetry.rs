@@ -270,6 +270,8 @@ fn live_snapshot_lints_and_round_trips() {
     assert!(prom.contains("esdb_storage_stage_ns"));
     assert!(prom.contains("esdb_query_total_ns"));
     assert!(prom.contains("esdb_monitor_writes_total"));
+    // Flight-recorder write-path series: group-commit drain latency.
+    assert!(prom.contains("esdb_write_drain_ns"));
 }
 
 /// Delta snapshots drain monotone counters while levels stay absolute,
