@@ -34,3 +34,4 @@ pub use clock::{Clock, ManualClock, RealClock, SharedClock};
 pub use error::{EsdbError, Result};
 pub use exec::Executor;
 pub use ids::{NodeId, RecordId, ShardId, TenantId, TimestampMs};
+pub use stats::RejectedCounts;

@@ -13,6 +13,43 @@ use esdb_telemetry::HistogramSnapshot;
 
 pub use esdb_telemetry::{quantile, quantile_sorted};
 
+/// Requests a serving layer rejected before they reached the engine,
+/// broken down by the reason taxonomy the network front-end enforces.
+/// The embedded API never rejects (all four stay 0 there); the server
+/// fills these so the work-conservation invariant
+/// `issued == admitted + rejected.total()` extends through the network
+/// layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectedCounts {
+    /// Authentication/authorization failures (unknown token, tenant
+    /// mismatch, non-admin on an admin endpoint).
+    pub auth: u64,
+    /// Per-tenant in-flight quota exceeded.
+    pub quota: u64,
+    /// Per-tenant token-bucket rate limit exceeded.
+    pub rate: u64,
+    /// Shed under overload as one of the hottest tenants.
+    pub shed: u64,
+}
+
+impl RejectedCounts {
+    /// Total rejected requests across all reasons.
+    pub fn total(&self) -> u64 {
+        self.auth + self.quota + self.rate + self.shed
+    }
+
+    /// Per-reason difference `self - base`, saturating at zero (delta
+    /// snapshots over monotone counters).
+    pub fn saturating_sub(&self, base: &RejectedCounts) -> RejectedCounts {
+        RejectedCounts {
+            auth: self.auth.saturating_sub(base.auth),
+            quota: self.quota.saturating_sub(base.quota),
+            rate: self.rate.saturating_sub(base.rate),
+            shed: self.shed.saturating_sub(base.shed),
+        }
+    }
+}
+
 /// Online mean/variance accumulator (Welford's algorithm).
 #[derive(Debug, Clone, Default)]
 pub struct OnlineStats {

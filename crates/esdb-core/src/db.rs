@@ -4,8 +4,8 @@ use esdb_balancer::{BalancerConfig, LoadBalancer, WorkloadMonitor};
 use esdb_common::exec::Executor;
 use esdb_common::fastmap::{fast_set, FastSet};
 use esdb_common::{
-    CacheStats, Clock, EsdbError, NodeId, RecordId, Result, ShardId, ShardedCache, SharedClock,
-    TenantId, TimestampMs,
+    CacheStats, Clock, EsdbError, NodeId, RecordId, RejectedCounts, Result, ShardId, ShardedCache,
+    SharedClock, TenantId, TimestampMs,
 };
 use esdb_doc::{CollectionSchema, Document, WriteOp};
 use esdb_index::{AttrFrequencyTracker, SegmentId};
@@ -19,7 +19,8 @@ use esdb_query::{
     PreparedPlan, Query, QueryOptions, QueryRows, SegmentFilterCache,
 };
 use esdb_routing::{
-    DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList, ShardSpan,
+    DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList, SecondaryHashingRule,
+    ShardSpan,
 };
 use esdb_storage::{ShardConfig, ShardEngine, ShardSnapshot, SnapshotCell, WriteFault};
 use esdb_telemetry::{
@@ -245,6 +246,12 @@ pub struct EsdbStats {
     pub filter_cache: CacheStats,
     /// Tier-2 request cache counters (`bytes` = resident entries).
     pub request_cache: CacheStats,
+    /// Requests rejected before reaching the engine, by reason. Always
+    /// zero for the embedded API — the `esdb-server` front-end fills
+    /// these in its stats view so the conservation invariant
+    /// `issued == admitted + rejected` extends through the network
+    /// layer.
+    pub requests_rejected: RejectedCounts,
 }
 
 /// One shard behind its own lock, so scatter-gather paths touch shards
@@ -935,6 +942,12 @@ impl Esdb {
         self.rules.read().len()
     }
 
+    /// Clone of the committed rule list, in insertion order (the
+    /// server's `/admin/rules` endpoint renders this).
+    pub fn rules_snapshot(&self) -> Vec<SecondaryHashingRule> {
+        self.rules.read().rules().to_vec()
+    }
+
     /// Aggregated statistics.
     pub fn stats(&self) -> EsdbStats {
         let mut s = EsdbStats {
@@ -981,6 +994,9 @@ impl Esdb {
         }
         out.filter_cache = cache_delta(&current.filter_cache, &base.filter_cache);
         out.request_cache = cache_delta(&current.request_cache, &base.request_cache);
+        out.requests_rejected = current
+            .requests_rejected
+            .saturating_sub(&base.requests_rejected);
         self.stats_base = current;
         out
     }
@@ -988,6 +1004,21 @@ impl Esdb {
     /// The shared telemetry facade (registry, slow-query log, config).
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
+    }
+
+    /// The workload monitor feeding the balancer. The network front-end
+    /// shares this as its skew signal, so admission control sheds the
+    /// same hot tenants the balancer would grow shard spans for.
+    pub fn workload_monitor(&self) -> Arc<WorkloadMonitor> {
+        Arc::clone(&self.write.monitor)
+    }
+
+    /// The clock this instance runs on. Components layered on top (the
+    /// network front-end's token buckets) share it so a
+    /// [`esdb_common::ManualClock`] drives engine and admission
+    /// decisions in lockstep.
+    pub fn clock(&self) -> SharedClock {
+        self.clock.clone()
     }
 
     /// Current slow-query log contents, oldest first.

@@ -1,0 +1,230 @@
+//! A small blocking client for the wire protocol, used by the
+//! integration tests, the `server_admission` bench, and the README's
+//! example session.
+
+use crate::http::{self, ReadError, Response};
+use crate::wire::{
+    self, QueryRequest, WireAgg, WireError, WireOp, WireRows, WriteAck, WriteRequest,
+};
+use esdb_common::{RecordId, TenantId, TimestampMs};
+use esdb_doc::Document;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The server answered with an error body (status + decoded error).
+    Server {
+        /// HTTP status.
+        status: u16,
+        /// Decoded error body.
+        error: WireError,
+    },
+    /// Socket-level failure.
+    Io(String),
+    /// The response could not be decoded.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Server { status, error } => {
+                write!(f, "server error {status} {}: {}", error.code, error.message)
+            }
+            ClientError::Io(m) => write!(f, "io error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// Whether this is a 429/503 worth retrying after a back-off.
+    pub fn is_throttle(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server { status, .. } if *status == 429 || *status == 503
+        )
+    }
+
+    /// Server-suggested back-off, if any.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ClientError::Server { error, .. } => error.retry_after_ms,
+            _ => None,
+        }
+    }
+}
+
+/// A persistent connection speaking the `/v1` protocol.
+pub struct EsdbClient {
+    stream: TcpStream,
+    token: String,
+    buf: Vec<u8>,
+}
+
+impl EsdbClient {
+    /// Connects to `addr` (e.g. `"127.0.0.1:39143"`) with a bearer
+    /// token.
+    pub fn connect(addr: &str, token: &str) -> Result<EsdbClient, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        Ok(EsdbClient {
+            stream,
+            token: token.to_string(),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sets the socket read timeout (None = block forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ClientError::Io(e.to_string()))
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<Response, ClientError> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nauthorization: Bearer {}\r\ncontent-length: {}\r\n\r\n",
+            self.token,
+            body.len()
+        );
+        self.stream
+            .write_all(head.as_bytes())
+            .and_then(|_| self.stream.write_all(body.as_bytes()))
+            .and_then(|_| self.stream.flush())
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        loop {
+            match http::read_response(&mut self.stream, &mut self.buf) {
+                Ok(resp) => return Ok(resp),
+                Err(ReadError::TimedOut) => continue,
+                Err(e) => return Err(ClientError::Io(format!("{e:?}"))),
+            }
+        }
+    }
+
+    /// Sends a request and decodes a 2xx body with `decode`, or the
+    /// error body otherwise.
+    fn call<T>(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        decode: impl FnOnce(&str) -> Result<T, String>,
+    ) -> Result<T, ClientError> {
+        let resp = self.request(method, path, body)?;
+        let text = resp.text().map_err(ClientError::Protocol)?;
+        if resp.status / 100 == 2 {
+            decode(text).map_err(ClientError::Protocol)
+        } else {
+            let error = wire::decode_error(text)
+                .unwrap_or_else(|_| WireError::new("internal", text.to_string()));
+            Err(ClientError::Server {
+                status: resp.status,
+                error,
+            })
+        }
+    }
+
+    /// Applies a batch of write operations.
+    pub fn write(&mut self, ops: Vec<WireOp>) -> Result<WriteAck, ClientError> {
+        let body = wire::encode_write_request(&WriteRequest { ops });
+        self.call("POST", "/v1/write", &body, wire::decode_write_ack)
+    }
+
+    /// Inserts one document.
+    pub fn insert(&mut self, doc: Document) -> Result<WriteAck, ClientError> {
+        self.write(vec![WireOp::Insert(doc)])
+    }
+
+    /// Inserts one document, retrying 429/503 responses with the
+    /// server-suggested back-off until acknowledged or `attempts` runs
+    /// out. Returns the number of throttled attempts alongside the ack.
+    pub fn insert_with_retry(
+        &mut self,
+        doc: Document,
+        attempts: u32,
+    ) -> Result<(WriteAck, u32), ClientError> {
+        let mut throttled = 0u32;
+        for _ in 0..attempts.max(1) {
+            match self.insert(doc.clone()) {
+                Ok(ack) => return Ok((ack, throttled)),
+                Err(e) if e.is_throttle() => {
+                    throttled += 1;
+                    let ms = e.retry_after_ms().unwrap_or(5).clamp(1, 100);
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ClientError::Protocol(format!(
+            "write still throttled after {attempts} attempts"
+        )))
+    }
+
+    /// Runs a SQL query.
+    pub fn query(&mut self, sql: &str) -> Result<WireRows, ClientError> {
+        let body = wire::encode_query_request(&QueryRequest {
+            sql: sql.to_string(),
+            block_execution: None,
+        });
+        self.call("POST", "/v1/query", &body, wire::decode_rows)
+    }
+
+    /// Runs an aggregate SQL query.
+    pub fn aggregate(&mut self, sql: &str) -> Result<WireAgg, ClientError> {
+        let body = wire::encode_query_request(&QueryRequest {
+            sql: sql.to_string(),
+            block_execution: None,
+        });
+        self.call("POST", "/v1/aggregate", &body, wire::decode_agg)
+    }
+
+    /// Point lookup by routing triple.
+    pub fn get(
+        &mut self,
+        tenant: TenantId,
+        record: RecordId,
+        created_at: TimestampMs,
+    ) -> Result<Option<Document>, ClientError> {
+        let body = wire::encode_get_request(tenant, record, created_at);
+        self.call("POST", "/v1/get", &body, wire::decode_get_response)
+    }
+
+    /// Fetches the Prometheus metrics text (admin token required).
+    pub fn admin_metrics(&mut self) -> Result<String, ClientError> {
+        self.call("GET", "/admin/metrics", "", |t| Ok(t.to_string()))
+    }
+
+    /// Fetches the telemetry snapshot JSON (admin token required).
+    pub fn admin_telemetry(&mut self) -> Result<String, ClientError> {
+        self.call("GET", "/admin/telemetry", "", |t| Ok(t.to_string()))
+    }
+
+    /// Fetches the debug bundle JSON (admin token required).
+    pub fn admin_bundle(&mut self) -> Result<String, ClientError> {
+        self.call("GET", "/admin/bundle", "", |t| Ok(t.to_string()))
+    }
+
+    /// Fetches the rule-list JSON (admin token required).
+    pub fn admin_rules(&mut self) -> Result<String, ClientError> {
+        self.call("GET", "/admin/rules", "", |t| Ok(t.to_string()))
+    }
+
+    /// Fetches the server stats JSON (admin token required).
+    pub fn admin_stats(&mut self) -> Result<String, ClientError> {
+        self.call("GET", "/admin/stats", "", |t| Ok(t.to_string()))
+    }
+
+    /// Publishes buffered writes to the read snapshots (admin token
+    /// required).
+    pub fn admin_refresh(&mut self) -> Result<(), ClientError> {
+        self.call("POST", "/admin/refresh", "", |_| Ok(()))
+    }
+}

@@ -167,6 +167,47 @@ pub enum EventKind {
         /// The leader's lock wait (ns); 0 when it won immediately.
         lock_wait_ns: u64,
     },
+    /// The network front-end's admission controller started admitting a
+    /// tenant again (journaled on the transition back from a throttle or
+    /// shed spell, not per request — steady-state admits are the fast
+    /// path).
+    ServerAdmit {
+        /// The re-admitted tenant.
+        tenant: u64,
+    },
+    /// The admission controller started rejecting a tenant's requests
+    /// with 429 (journaled on the transition into the throttled state).
+    ServerThrottle {
+        /// The throttled tenant.
+        tenant: u64,
+        /// Why: `"rate"` (token bucket empty) or `"quota"` (per-tenant
+        /// in-flight ceiling).
+        reason: &'static str,
+        /// Suggested client back-off (ms).
+        retry_after_ms: u64,
+    },
+    /// The admission controller started shedding a hot tenant under
+    /// overload (journaled on the transition into the shed state).
+    ServerShed {
+        /// The shed tenant.
+        tenant: u64,
+        /// The tenant's traffic proportion that made it the shedding
+        /// victim, in ppm (the same skew signal the balancer uses).
+        proportion_ppm: u64,
+    },
+    /// Graceful shutdown began: the server stopped accepting and started
+    /// draining in-flight requests.
+    ServerDrainStarted {
+        /// Requests in flight when the drain began.
+        in_flight: u32,
+    },
+    /// Graceful shutdown finished: every in-flight request completed.
+    ServerDrainCompleted {
+        /// Requests that were in flight at drain start and completed.
+        drained: u32,
+        /// Requests refused with 503 while draining.
+        refused: u64,
+    },
 }
 
 impl EventKind {
@@ -189,6 +230,11 @@ impl EventKind {
             EventKind::SegmentFlush { .. } => "segment_flush",
             EventKind::CacheSweep { .. } => "cache_sweep",
             EventKind::GroupCommitDrain { .. } => "group_commit_drain",
+            EventKind::ServerAdmit { .. } => "server_admit",
+            EventKind::ServerThrottle { .. } => "server_throttle",
+            EventKind::ServerShed { .. } => "server_shed",
+            EventKind::ServerDrainStarted { .. } => "server_drain_started",
+            EventKind::ServerDrainCompleted { .. } => "server_drain_completed",
         }
     }
 
@@ -263,6 +309,25 @@ impl EventKind {
                 "\"shard\": {shard}, \"groups\": {groups}, \"ops\": {ops}, \
                  \"lock_wait_ns\": {lock_wait_ns}"
             ),
+            EventKind::ServerAdmit { tenant } => format!("\"tenant\": {tenant}"),
+            EventKind::ServerThrottle {
+                tenant,
+                reason,
+                retry_after_ms,
+            } => format!(
+                "\"tenant\": {tenant}, \"reason\": \"{reason}\", \
+                 \"retry_after_ms\": {retry_after_ms}"
+            ),
+            EventKind::ServerShed {
+                tenant,
+                proportion_ppm,
+            } => format!("\"tenant\": {tenant}, \"proportion_ppm\": {proportion_ppm}"),
+            EventKind::ServerDrainStarted { in_flight } => {
+                format!("\"in_flight\": {in_flight}")
+            }
+            EventKind::ServerDrainCompleted { drained, refused } => {
+                format!("\"drained\": {drained}, \"refused\": {refused}")
+            }
         }
     }
 }
