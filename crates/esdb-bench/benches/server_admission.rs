@@ -253,7 +253,7 @@ fn run_pass(scale: &Scale, shedding: bool, tag: &str) -> PassResult {
         wall_ns,
         victim_p99_ns,
         victim_samples: victim_ns.len(),
-        hot_throttled: hot.throttled,
+        hot_throttled: hot.throttled(),
         hot_shed: hot.shed,
         conserved,
         signature,

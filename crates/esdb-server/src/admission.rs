@@ -24,7 +24,9 @@
 //! 4. **Admit** — an RAII [`Permit`] tracks the request in-flight.
 //!
 //! Counters obey the conservation law checked by the concurrency tests:
-//! for every tenant, `issued == admitted + throttled + shed` (auth
+//! for every tenant, `issued == admitted + rate + quota + shed` —
+//! rate and quota rejections are tracked separately so operational
+//! stats can tell them apart (`throttled()` is their sum; auth
 //! failures are counted separately by the server — they never reach
 //! admission).
 
@@ -152,16 +154,23 @@ pub struct AdmissionCounts {
     pub issued: u64,
     /// ... and were admitted.
     pub admitted: u64,
-    /// ... rejected by rate limit or in-flight quota (the 429 family).
-    pub throttled: u64,
+    /// ... rejected by the token-bucket rate limit (429).
+    pub rate: u64,
+    /// ... rejected by the in-flight quota (429).
+    pub quota: u64,
     /// ... shed as a hot tenant under overload (503).
     pub shed: u64,
 }
 
 impl AdmissionCounts {
+    /// The 429 family: rate + quota rejections.
+    pub fn throttled(&self) -> u64 {
+        self.rate + self.quota
+    }
+
     /// The conservation invariant the tests assert.
     pub fn conserved(&self) -> bool {
-        self.issued == self.admitted + self.throttled + self.shed
+        self.issued == self.admitted + self.rate + self.quota + self.shed
     }
 }
 
@@ -394,7 +403,7 @@ impl AdmissionController {
 
         // 2. Per-tenant in-flight quota.
         if t.inflight >= cfg.per_tenant_inflight {
-            t.counts.throttled += 1;
+            t.counts.quota += 1;
             if t.mode != TenantMode::Throttled {
                 t.mode = TenantMode::Throttled;
                 inner.telemetry.emit(
@@ -426,7 +435,7 @@ impl AdmissionController {
             } else {
                 deficit.div_ceil(t.rate.per_sec)
             };
-            t.counts.throttled += 1;
+            t.counts.rate += 1;
             if t.mode != TenantMode::Throttled {
                 t.mode = TenantMode::Throttled;
                 inner.telemetry.emit(
@@ -485,7 +494,8 @@ impl AdmissionController {
         for t in tenants.values() {
             out.issued += t.counts.issued;
             out.admitted += t.counts.admitted;
-            out.throttled += t.counts.throttled;
+            out.rate += t.counts.rate;
+            out.quota += t.counts.quota;
             out.shed += t.counts.shed;
         }
         out
@@ -587,7 +597,9 @@ mod tests {
         assert!(matches!(c.admit(TenantId(4)), Decision::Admitted(_)));
         let counts = c.tenant_counts(TenantId(4));
         assert!(counts.conserved());
-        assert_eq!(counts.throttled, 1);
+        assert_eq!(counts.quota, 1, "the rejection was a quota, not rate");
+        assert_eq!(counts.rate, 0);
+        assert_eq!(counts.throttled(), 1);
     }
 
     #[test]

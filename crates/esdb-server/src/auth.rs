@@ -2,9 +2,11 @@
 //!
 //! Deliberately minimal — a static table configured at server start
 //! (the multi-tenant isolation the paper cares about happens *after*
-//! identification, in admission control and shard routing). Tokens are
-//! opaque strings; an identity is a tenant id plus an `admin` bit that
-//! unlocks the `/admin/*` endpoints and cross-tenant writes.
+//! identification: tenant confinement on writes, gets, and queries
+//! ([`crate::confine`]), then admission control and shard routing).
+//! Tokens are opaque strings; an identity is a tenant id plus an
+//! `admin` bit that unlocks the `/admin/*` endpoints and cross-tenant
+//! reads and writes.
 
 use esdb_common::TenantId;
 use std::collections::HashMap;
@@ -14,7 +16,7 @@ use std::collections::HashMap;
 pub struct Identity {
     /// Tenant this token writes and queries as.
     pub tenant: TenantId,
-    /// Admin tokens may hit `/admin/*` and write for any tenant.
+    /// Admin tokens may hit `/admin/*` and read/write any tenant.
     pub admin: bool,
 }
 
@@ -42,8 +44,10 @@ impl TokenTable {
         self
     }
 
-    /// Registers an admin token (acts as `tenant` for data-plane
-    /// requests but bypasses tenant checks and admission control).
+    /// Registers an admin token. Admin identities bypass tenant
+    /// confinement (cross-tenant reads and writes) and the `/admin/*`
+    /// auth check only; their data-plane requests still pass through
+    /// admission control like any other tenant's.
     pub fn admin(mut self, token: impl Into<String>, tenant: TenantId) -> Self {
         self.tokens.insert(
             token.into(),

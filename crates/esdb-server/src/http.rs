@@ -14,6 +14,7 @@
 //! poll its drain flag from idle keep-alive connections.
 
 use std::io::{Read, Write};
+use std::time::Instant;
 
 /// Longest accepted head (request line + headers) in bytes.
 const MAX_HEAD: usize = 16 * 1024;
@@ -73,6 +74,11 @@ pub enum ReadError {
     TimedOut,
     /// The peer went away mid-message or sent garbage.
     Malformed(String),
+    /// The caller's deadline passed with the message still incomplete
+    /// while bytes kept arriving. Unlike [`ReadError::TimedOut`] this
+    /// is terminal: the connection should be dropped, or a trickling
+    /// client could hold a worker thread forever.
+    DeadlineExceeded,
     /// Underlying socket error.
     Io(String),
 }
@@ -153,7 +159,19 @@ fn parse_head(buf: &[u8]) -> Result<Option<Head>, ReadError> {
 
 /// Accumulates until `buf` holds one complete message, then consumes
 /// and returns its head and body.
-fn read_message(stream: &mut dyn Read, buf: &mut Vec<u8>) -> Result<(Head, Vec<u8>), ReadError> {
+///
+/// `deadline` bounds the time spent *inside this call* on a message
+/// that keeps receiving bytes: a complete message is always returned,
+/// but once the deadline passes with the message still incomplete the
+/// call fails with [`ReadError::DeadlineExceeded`] instead of looping
+/// on a client that trickles bytes forever. (A *stalled* client
+/// surfaces as [`ReadError::TimedOut`] via the socket read timeout
+/// and is the caller's responsibility to bound across calls.)
+fn read_message(
+    stream: &mut dyn Read,
+    buf: &mut Vec<u8>,
+    deadline: Option<Instant>,
+) -> Result<(Head, Vec<u8>), ReadError> {
     loop {
         if let Some(head) = parse_head(buf)? {
             let total = head.body_start + head.content_length;
@@ -162,6 +180,9 @@ fn read_message(stream: &mut dyn Read, buf: &mut Vec<u8>) -> Result<(Head, Vec<u
                 buf.drain(..total);
                 return Ok((head, body));
             }
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(ReadError::DeadlineExceeded);
         }
         match fill(stream, buf)? {
             0 => {
@@ -177,9 +198,14 @@ fn read_message(stream: &mut dyn Read, buf: &mut Vec<u8>) -> Result<(Head, Vec<u
 }
 
 /// Reads one request from `stream`. `buf` carries unconsumed and
-/// partially received bytes between calls.
-pub fn read_request(stream: &mut dyn Read, buf: &mut Vec<u8>) -> Result<Request, ReadError> {
-    let (head, body) = read_message(stream, buf)?;
+/// partially received bytes between calls. See [`read_message`] for
+/// `deadline` semantics.
+pub fn read_request(
+    stream: &mut dyn Read,
+    buf: &mut Vec<u8>,
+    deadline: Option<Instant>,
+) -> Result<Request, ReadError> {
+    let (head, body) = read_message(stream, buf, deadline)?;
     let mut parts = head.first_line.split_whitespace();
     let method = parts
         .next()
@@ -255,7 +281,7 @@ impl Response {
 /// Reads one response from `stream` (client side; same framing and
 /// resumability rules as [`read_request`]).
 pub fn read_response(stream: &mut dyn Read, buf: &mut Vec<u8>) -> Result<Response, ReadError> {
-    let (head, body) = read_message(stream, buf)?;
+    let (head, body) = read_message(stream, buf, None)?;
     let status: u16 = head
         .first_line
         .split_whitespace()
@@ -283,7 +309,7 @@ mod tests {
     fn parses_request_with_body() {
         let raw = b"POST /v1/query HTTP/1.1\r\nAuthorization: Bearer tok-1\r\nContent-Length: 5\r\n\r\nhello";
         let mut buf = Vec::new();
-        let req = read_request(&mut Cursor::new(&raw[..]), &mut buf).unwrap();
+        let req = read_request(&mut Cursor::new(&raw[..]), &mut buf, None).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/query");
         assert_eq!(req.bearer_token(), Some("tok-1"));
@@ -296,12 +322,12 @@ mod tests {
         let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
         let mut cur = Cursor::new(&raw[..]);
         let mut buf = Vec::new();
-        let a = read_request(&mut cur, &mut buf).unwrap();
-        let b = read_request(&mut cur, &mut buf).unwrap();
+        let a = read_request(&mut cur, &mut buf, None).unwrap();
+        let b = read_request(&mut cur, &mut buf, None).unwrap();
         assert_eq!(a.path, "/a");
         assert_eq!(b.path, "/b");
         assert_eq!(
-            read_request(&mut cur, &mut buf).unwrap_err(),
+            read_request(&mut cur, &mut buf, None).unwrap_err(),
             ReadError::Eof
         );
     }
@@ -345,7 +371,7 @@ mod tests {
         let mut buf = Vec::new();
         let mut timeouts = 0;
         let req = loop {
-            match read_request(&mut stream, &mut buf) {
+            match read_request(&mut stream, &mut buf, None) {
                 Ok(r) => break r,
                 Err(ReadError::TimedOut) => timeouts += 1,
                 Err(e) => panic!("unexpected error {e:?}"),
@@ -378,7 +404,7 @@ mod tests {
         );
         let mut buf = Vec::new();
         assert!(matches!(
-            read_request(&mut Cursor::new(raw.as_bytes()), &mut buf),
+            read_request(&mut Cursor::new(raw.as_bytes()), &mut buf, None),
             Err(ReadError::Malformed(_))
         ));
     }

@@ -159,6 +159,7 @@ pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -169,9 +170,17 @@ pub fn parse(text: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Deepest accepted array/object nesting. The parser recurses per
+/// level, so without a cap a request body of nothing but `[`s (up to
+/// [`crate::http::MAX_BODY`] of them) would overflow the worker
+/// thread's stack and abort the process. Wire messages nest a handful
+/// of levels; 128 is far above any legitimate body.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -218,8 +227,8 @@ impl Parser<'_> {
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Parser::array),
+            Some(b'{') => self.nested(Parser::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             other => Err(format!(
                 "unexpected {:?} at byte {}",
@@ -227,6 +236,22 @@ impl Parser<'_> {
                 self.pos
             )),
         }
+    }
+
+    fn nested(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<Json, String>,
+    ) -> Result<Json, String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        let v = f(self);
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Json, String> {
@@ -434,6 +459,17 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("12 34").is_err());
         assert!(parse("\"abc").is_err());
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        // Within the limit: fine.
+        let shallow = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(parse(&shallow).is_ok());
+        // A body of nothing but open brackets must error cleanly
+        // instead of overflowing the parser's stack.
+        assert!(parse(&"[".repeat(200_000)).is_err());
+        assert!(parse(&"{\"a\":".repeat(200_000)).is_err());
     }
 
     #[test]

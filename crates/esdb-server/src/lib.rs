@@ -9,6 +9,9 @@
 //! signal to protect every other tenant's latency:
 //!
 //! * [`auth`] — bearer-token authentication to a tenant identity,
+//! * [`confine`] — tenant confinement for wire SQL: non-admin tokens
+//!   may only run queries whose filter provably pins `tenant_id` to
+//!   their own tenant,
 //! * [`admission`] — per-tenant token buckets, in-flight quotas, a
 //!   global connection cap, and overload shedding that targets the
 //!   hottest tenants first (driven by the engine's
@@ -44,7 +47,8 @@
 //! let handle = start(db, config, Box::new(transport));
 //!
 //! let mut client = EsdbClient::connect(&addr, "tok-7")?;
-//! let rows = client.query("SELECT * FROM transaction_logs WHERE k1 = 7")?;
+//! // Non-admin tokens must confine queries to their own tenant_id.
+//! let rows = client.query("SELECT * FROM transaction_logs WHERE tenant_id = 7")?;
 //! println!("{} rows", rows.docs.len());
 //!
 //! let (db, report) = handle.shutdown();
@@ -56,6 +60,7 @@
 pub mod admission;
 pub mod auth;
 pub mod client;
+pub mod confine;
 pub mod http;
 pub mod json;
 pub mod server;

@@ -39,6 +39,19 @@ const DRAINING: u8 = 1;
 /// drain flag.
 const READ_POLL: Duration = Duration::from_millis(25);
 
+/// Longest wall-clock time a worker waits for one request to finish
+/// arriving once its first byte is in. Bounds both a client that
+/// trickles bytes forever and one that stalls mid-request, so a
+/// hostile sender cannot pin a worker thread (or a later drain)
+/// indefinitely.
+const REQUEST_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Once the drain flag flips, how long a worker keeps waiting for the
+/// rest of a partially received request before abandoning it. Keeps
+/// [`ServerHandle::shutdown`] from blocking on a stalled client; the
+/// abandoned request was never acknowledged.
+const DRAIN_GRACE: Duration = Duration::from_millis(500);
+
 /// Server configuration: identity plus admission policy.
 #[derive(Clone, Default)]
 pub struct ServerConfig {
@@ -83,17 +96,10 @@ impl Shared {
     /// `requests_rejected`.
     fn rejected_counts(&self) -> RejectedCounts {
         let totals = self.admission.total_counts();
-        // Throttled splits into rate vs quota only per-tenant; the
-        // aggregate view folds quota into `quota` by re-walking
-        // tenants. total_counts() already merged them into
-        // `throttled`, so recover the split from the per-reason
-        // metric-free counters: throttled = rate + quota is not
-        // separable here, so report the merged value under `rate` and
-        // the shed/auth axes exactly.
         RejectedCounts {
             auth: self.rejected_auth.load(Ordering::Relaxed),
-            quota: 0,
-            rate: totals.throttled,
+            quota: totals.quota,
+            rate: totals.rate,
             shed: totals.shed,
         }
     }
@@ -266,17 +272,44 @@ impl Write for WriteHalf<'_> {
 fn serve_conn(shared: Arc<Shared>, mut conn: Box<dyn Conn>) {
     let _ = conn.set_read_timeout(Some(READ_POLL));
     let mut buf = Vec::new();
+    // When the partially received request in `buf` started stalling
+    // (first `TimedOut` with bytes pending). Bounds a client that
+    // sends part of a request and then goes quiet.
+    let mut partial_since: Option<Instant> = None;
     loop {
-        let req = match http::read_request(&mut ReadHalf(conn.as_mut()), &mut buf) {
-            Ok(req) => req,
+        let limit = if shared.draining() {
+            DRAIN_GRACE
+        } else {
+            REQUEST_DEADLINE
+        };
+        let req = match http::read_request(
+            &mut ReadHalf(conn.as_mut()),
+            &mut buf,
+            Some(Instant::now() + limit),
+        ) {
+            Ok(req) => {
+                partial_since = None;
+                req
+            }
             Err(ReadError::TimedOut) => {
-                // Mid-request bytes stay buffered; only bail on drain
-                // when no request has started.
-                if shared.draining() && buf.is_empty() {
-                    break;
+                if buf.is_empty() {
+                    // Idle keep-alive connection: wait indefinitely,
+                    // bail as soon as the drain flag flips.
+                    partial_since = None;
+                    if shared.draining() {
+                        break;
+                    }
+                } else {
+                    // Mid-request stall: resume reading, but not
+                    // forever — and only briefly once draining.
+                    let since = *partial_since.get_or_insert_with(Instant::now);
+                    if since.elapsed() >= limit {
+                        break;
+                    }
                 }
                 continue;
             }
+            // DeadlineExceeded (trickling sender), Eof, Malformed, Io.
             Err(_) => break,
         };
         let close = req.wants_close();
@@ -423,26 +456,8 @@ fn dispatch(shared: &Shared, req: &Request, identity: Identity) -> Resp {
     };
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/v1/write") => handle_write(shared, body, identity),
-        ("POST", "/v1/query") => match wire::decode_query_request(body) {
-            Ok(q) => {
-                let opts = query_options(&q);
-                match shared.reader.query_opts(&q.sql, opts) {
-                    Ok(rows) => Resp::json(200, wire::encode_rows(&WireRows::from_rows(&rows))),
-                    Err(e) => Resp::error(WireError::from_engine(&e)),
-                }
-            }
-            Err(m) => Resp::error(WireError::new("bad_request", m)),
-        },
-        ("POST", "/v1/aggregate") => match wire::decode_query_request(body) {
-            Ok(q) => {
-                let opts = query_options(&q);
-                match shared.reader.aggregate_opts(&q.sql, opts) {
-                    Ok(agg) => Resp::json(200, wire::encode_agg(&WireAgg::from_agg(&agg))),
-                    Err(e) => Resp::error(WireError::from_engine(&e)),
-                }
-            }
-            Err(m) => Resp::error(WireError::new("bad_request", m)),
-        },
+        ("POST", "/v1/query") => handle_query(shared, body, identity, false),
+        ("POST", "/v1/aggregate") => handle_query(shared, body, identity, true),
         ("POST", "/v1/get") => match wire::decode_get_request(body) {
             Ok((tenant, record, created_at)) => {
                 if tenant != identity.tenant && !identity.admin {
@@ -461,6 +476,39 @@ fn dispatch(shared: &Shared, req: &Request, identity: Identity) -> Resp {
             "not_found",
             format!("no route {} {}", req.method, req.path),
         )),
+    }
+}
+
+/// `/v1/query` and `/v1/aggregate`: decode, confine the SQL to the
+/// token's tenant (admin tokens cross tenants), execute.
+fn handle_query(shared: &Shared, body: &str, identity: Identity, aggregate: bool) -> Resp {
+    let q = match wire::decode_query_request(body) {
+        Ok(q) => q,
+        Err(m) => return Resp::error(WireError::new("bad_request", m)),
+    };
+    if !identity.admin {
+        if let Err(e) = crate::confine::ensure_confined(&q.sql, identity.tenant) {
+            if e.code == "forbidden" {
+                shared.rejected_auth.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .telemetry
+                    .registry()
+                    .add("esdb_server_rejected_total", Labels::stage("auth"), 1);
+            }
+            return Resp::error(e);
+        }
+    }
+    let opts = query_options(&q);
+    if aggregate {
+        match shared.reader.aggregate_opts(&q.sql, opts) {
+            Ok(agg) => Resp::json(200, wire::encode_agg(&WireAgg::from_agg(&agg))),
+            Err(e) => Resp::error(WireError::from_engine(&e)),
+        }
+    } else {
+        match shared.reader.query_opts(&q.sql, opts) {
+            Ok(rows) => Resp::json(200, wire::encode_rows(&WireRows::from_rows(&rows))),
+            Err(e) => Resp::error(WireError::from_engine(&e)),
+        }
     }
 }
 
@@ -585,7 +633,8 @@ fn handle_admin(shared: &Shared, req: &Request, admin_path: &str) -> Resp {
                         obj(vec![
                             ("issued", Json::UInt(admission.issued)),
                             ("admitted", Json::UInt(admission.admitted)),
-                            ("throttled", Json::UInt(admission.throttled)),
+                            ("rate", Json::UInt(admission.rate)),
+                            ("quota", Json::UInt(admission.quota)),
                             ("shed", Json::UInt(admission.shed)),
                         ]),
                     ),

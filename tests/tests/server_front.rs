@@ -287,6 +287,81 @@ fn auth_failures_are_rejected_and_counted() {
     handle.shutdown();
 }
 
+/// Tenant tokens are confined on the SQL read path too: a tenant-1
+/// token cannot query or aggregate tenant-2's rows (or run a query
+/// with no tenant predicate at all), while an admin token can.
+#[test]
+fn queries_are_confined_to_the_token_tenant() {
+    let mut db = open("confine");
+    for rid in 0..8u64 {
+        db.insert(sample_doc(1, rid, 0)).expect("insert t1");
+        db.insert(sample_doc(2, 100 + rid, 0)).expect("insert t2");
+    }
+    db.refresh();
+    let (handle, addr) = serve(
+        db,
+        ServerConfig {
+            tokens: default_tokens(),
+            admission: AdmissionConfig::default(),
+        },
+    );
+
+    let mut t1 = EsdbClient::connect(&addr, "tok-1").expect("connect");
+    // Own tenant: fine.
+    let rows = t1
+        .query("SELECT * FROM transaction_logs WHERE tenant_id = 1")
+        .expect("own-tenant query");
+    assert_eq!(rows.docs.len(), 8);
+    assert!(rows.docs.iter().all(|d| d.tenant_id == TenantId(1)));
+
+    // Every escape hatch gets 403 before the engine runs anything.
+    for sql in [
+        // Another tenant's id.
+        "SELECT * FROM transaction_logs WHERE tenant_id = 2",
+        // No tenant predicate at all.
+        "SELECT * FROM transaction_logs",
+        "SELECT * FROM transaction_logs WHERE status = 0",
+        // OR branch that escapes the tenant predicate.
+        "SELECT * FROM transaction_logs WHERE tenant_id = 1 OR status = 0",
+        // IN wider than the token's tenant.
+        "SELECT * FROM transaction_logs WHERE tenant_id IN (1, 2)",
+        // Inequality / range tricks.
+        "SELECT * FROM transaction_logs WHERE tenant_id != 2",
+        "SELECT * FROM transaction_logs WHERE tenant_id >= 1",
+    ] {
+        assert!(
+            matches!(
+                t1.query(sql),
+                Err(ClientError::Server { status: 403, .. })
+            ),
+            "{sql} should be rejected for a tenant-1 token"
+        );
+    }
+    assert!(matches!(
+        t1.aggregate("SELECT COUNT(*) FROM transaction_logs WHERE tenant_id = 2"),
+        Err(ClientError::Server { status: 403, .. })
+    ));
+    // Confined aggregate still works.
+    let agg = t1
+        .aggregate("SELECT COUNT(*) FROM transaction_logs WHERE tenant_id = 1")
+        .expect("own-tenant aggregate");
+    assert_eq!(agg.rows.len(), 1);
+
+    // Admin tokens cross tenants on the read path.
+    let mut admin = EsdbClient::connect(&addr, "root").expect("connect admin");
+    let all = admin
+        .query("SELECT * FROM transaction_logs")
+        .expect("admin unconfined query");
+    assert_eq!(all.docs.len(), 16);
+
+    let rejected = handle.rejected_counts();
+    assert!(
+        rejected.auth >= 8,
+        "confinement rejections must be counted as auth, got {rejected:?}"
+    );
+    handle.shutdown();
+}
+
 // ---------------------------------------------------------------------
 // Admission conservation under concurrency
 // ---------------------------------------------------------------------
@@ -349,11 +424,11 @@ fn concurrent_clients_conserve_admission_counts() {
     assert_eq!(counts.issued, THREADS * PER_THREAD);
     assert_eq!(counts.admitted, acked.load(Ordering::Relaxed));
     assert_eq!(
-        counts.throttled + counts.shed,
+        counts.throttled() + counts.shed,
         throttled.load(Ordering::Relaxed)
     );
     assert!(
-        counts.throttled > 0,
+        counts.throttled() > 0,
         "a 200/s limit under 4 unthrottled client threads must throttle"
     );
 
@@ -472,6 +547,42 @@ fn requests_after_drain_get_503() {
         !ids.contains(&2),
         "unacknowledged post-drain write must not be applied"
     );
+}
+
+/// A client that sends half a request and then goes quiet cannot hang
+/// the drain: the worker abandons the incomplete (never-acknowledged)
+/// request after the drain grace period and `shutdown()` returns.
+#[test]
+fn drain_is_not_hung_by_a_stalled_partial_request() {
+    let db = open("stall");
+    let (handle, addr) = serve(
+        db,
+        ServerConfig {
+            tokens: default_tokens(),
+            admission: AdmissionConfig::default(),
+        },
+    );
+
+    // Raw socket: begin a request, never finish it.
+    use std::io::Write as _;
+    let mut stalled = std::net::TcpStream::connect(&addr).expect("connect raw");
+    stalled
+        .write_all(b"POST /v1/write HTTP/1.1\r\nauthorization: Bearer tok-1\r\ncontent-length: 4096\r\n\r\npartial")
+        .expect("send partial request");
+    // Give the worker time to buffer the fragment.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let started = std::time::Instant::now();
+    let (db, report) = handle.shutdown();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "shutdown must not wait on a stalled client (took {:?})",
+        started.elapsed()
+    );
+    // The abandoned request was never acknowledged, so nothing landed.
+    assert_eq!(report.drained, 0);
+    assert_eq!(db.stats().writes, 0);
+    drop(stalled);
 }
 
 /// Journal carries the server lifecycle events (throttle + drain).
