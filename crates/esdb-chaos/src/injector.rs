@@ -53,6 +53,65 @@ impl WriteFault for TornWriteInjector {
     }
 }
 
+/// A [`WriteFault`] that kills one deterministic *window* of appends:
+/// every append whose global index falls in `[start, start + len)` tears
+/// at offset 0 — nothing of the frame lands, the op errors out and is
+/// never acknowledged — and appends outside the window land whole. This
+/// is the disk's view of a node dying and restarting at a scheduled
+/// instant, e.g. mid-way through a live migration's segment handoff:
+/// the engine keeps running, a contiguous burst of writes fails loudly,
+/// then service resumes.
+///
+/// `len == 0` disables injection. With `seeded`, the window start is
+/// drawn deterministically from the seed, so one `u64` reproduces the
+/// entire crash placement.
+#[derive(Debug)]
+pub struct CrashWindowInjector {
+    start: u64,
+    len: u64,
+    appends: AtomicU64,
+}
+
+impl CrashWindowInjector {
+    /// Fails appends `[start, start + len)`.
+    pub fn new(start: u64, len: u64) -> Self {
+        CrashWindowInjector {
+            start,
+            len,
+            appends: AtomicU64::new(0),
+        }
+    }
+
+    /// Draws the window start uniformly from `[lo, hi)` under `seed`.
+    pub fn seeded(seed: u64, lo: u64, hi: u64, len: u64) -> Self {
+        let span = hi.saturating_sub(lo).max(1);
+        CrashWindowInjector::new(lo + mix(seed) % span, len)
+    }
+
+    /// The first append index the window kills.
+    pub fn window_start(&self) -> u64 {
+        self.start
+    }
+
+    /// Appends observed so far.
+    pub fn appends_seen(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Whether the crash window has fully passed (every append in it was
+    /// attempted and failed).
+    pub fn window_elapsed(&self) -> bool {
+        self.appends.load(Ordering::Relaxed) >= self.start + self.len
+    }
+}
+
+impl WriteFault for CrashWindowInjector {
+    fn torn_write_len(&self, _frame_len: usize) -> Option<usize> {
+        let i = self.appends.fetch_add(1, Ordering::Relaxed);
+        (self.len > 0 && i >= self.start && i < self.start + self.len).then_some(0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +145,32 @@ mod tests {
     fn zero_period_never_tears() {
         let inj = TornWriteInjector::new(1, 0);
         assert!((0..100).all(|_| inj.torn_write_len(32).is_none()));
+    }
+
+    #[test]
+    fn crash_window_kills_exactly_its_range() {
+        let inj = CrashWindowInjector::new(3, 2);
+        let torn: Vec<bool> = (0..7).map(|_| inj.torn_write_len(100).is_some()).collect();
+        assert_eq!(torn, vec![false, false, false, true, true, false, false]);
+        assert!(inj.window_elapsed());
+        // Window tears leave nothing of the frame on disk.
+        let inj = CrashWindowInjector::new(0, 1);
+        assert_eq!(inj.torn_write_len(64), Some(0));
+    }
+
+    #[test]
+    fn seeded_crash_window_is_deterministic() {
+        let a = CrashWindowInjector::seeded(99, 100, 200, 5);
+        let b = CrashWindowInjector::seeded(99, 100, 200, 5);
+        assert_eq!(a.window_start(), b.window_start());
+        assert!((100..200).contains(&a.window_start()));
+        let c = CrashWindowInjector::seeded(100, 100, 200, 5);
+        assert_ne!(a.window_start(), c.window_start(), "seed moves the window");
+    }
+
+    #[test]
+    fn zero_len_crash_window_never_fires() {
+        let inj = CrashWindowInjector::new(0, 0);
+        assert!((0..50).all(|_| inj.torn_write_len(32).is_none()));
     }
 }

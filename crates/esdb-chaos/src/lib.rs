@@ -32,6 +32,6 @@ pub mod retry;
 pub mod schedule;
 
 pub use controller::{FailoverConfig, FailoverController, NodeHealth};
-pub use injector::TornWriteInjector;
+pub use injector::{CrashWindowInjector, TornWriteInjector};
 pub use retry::RetryPolicy;
 pub use schedule::{ChaosEvent, ChaosProfile, ChaosSchedule};

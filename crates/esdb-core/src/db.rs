@@ -1,13 +1,16 @@
 //! The embedded ESDB instance.
 
+use crate::migrate::{
+    statuses_to_json, MigrationEntry, MigrationPhase, MigrationStatus, MigrationTable, RulesLog,
+};
 use esdb_balancer::{BalancerConfig, LoadBalancer, WorkloadMonitor};
 use esdb_common::exec::Executor;
-use esdb_common::fastmap::{fast_set, FastSet};
+use esdb_common::fastmap::{fast_map, fast_set, FastMap, FastSet};
 use esdb_common::{
     CacheStats, Clock, EsdbError, NodeId, RecordId, RejectedCounts, Result, ShardId, ShardedCache,
     SharedClock, TenantId, TimestampMs,
 };
-use esdb_doc::{CollectionSchema, Document, WriteOp};
+use esdb_doc::{CollectionSchema, Document, WriteKind, WriteOp};
 use esdb_index::{AttrFrequencyTracker, SegmentId};
 use esdb_query::aggregate::merge_results;
 use esdb_query::naive::naive_plan;
@@ -18,9 +21,10 @@ use esdb_query::{
     parse_sql, query_fingerprint, translate, AggPartials, AggResult, FilterCacheContext,
     PreparedPlan, Query, QueryOptions, QueryRows, SegmentFilterCache,
 };
+use esdb_replication::{build_handoff, HandoffPlan};
 use esdb_routing::{
-    DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList, SecondaryHashingRule,
-    ShardSpan,
+    place, DoubleHashRouting, DynamicRouting, HashRouting, RoutingPolicy, RuleList,
+    SecondaryHashingRule, ShardSpan,
 };
 use esdb_storage::{ShardConfig, ShardEngine, ShardSnapshot, SnapshotCell, WriteFault};
 use esdb_telemetry::{
@@ -87,6 +91,19 @@ pub struct EsdbConfig {
     /// (chaos testing: torn/failed appends surface as write errors).
     /// `None` for production use.
     pub write_fault: Option<Arc<dyn WriteFault>>,
+    /// Commit-wait before a committed grow-rule activates, in clock
+    /// milliseconds: the rule's effective time is `commit + wait`, so
+    /// every participant — including nodes whose clock lags by up to
+    /// this much — agrees on which side of the rule a record falls
+    /// before any record can carry a timestamp past it. `0` (the
+    /// default) activates immediately, which is exact under the
+    /// embedded single-clock deployment.
+    pub commit_wait_ms: u64,
+    /// Bound on the translog tail a live migration may capture while
+    /// its segment handoff is in flight. Exceeding it aborts the
+    /// migration (writes are outrunning the drain) rather than chasing
+    /// an unbounded backlog.
+    pub migration_tail_max_ops: usize,
 }
 
 impl EsdbConfig {
@@ -108,6 +125,8 @@ impl EsdbConfig {
             request_cache_enabled: true,
             telemetry: TelemetryConfig::default(),
             write_fault: None,
+            commit_wait_ms: 0,
+            migration_tail_max_ops: 100_000,
         }
     }
 
@@ -183,6 +202,19 @@ impl EsdbConfig {
     /// surfaced to the caller.
     pub fn write_fault(mut self, fault: Arc<dyn WriteFault>) -> Self {
         self.write_fault = Some(fault);
+        self
+    }
+
+    /// Overrides the commit-wait window for rule activation (clock
+    /// milliseconds; `0` = activate immediately).
+    pub fn commit_wait_ms(mut self, ms: u64) -> Self {
+        self.commit_wait_ms = ms;
+        self
+    }
+
+    /// Overrides the captured-tail bound for live migrations.
+    pub fn migration_tail_max_ops(mut self, ops: usize) -> Self {
+        self.migration_tail_max_ops = ops;
         self
     }
 }
@@ -407,6 +439,17 @@ struct WriteState {
     rebalance_epochs: AtomicU64,
     telemetry: Arc<Telemetry>,
     timers: Option<CoreTimers>,
+    /// The collection schema (the migration coordinator builds shipped
+    /// segments from it).
+    schema: CollectionSchema,
+    /// Live-migration coordinator state: entries, the write-permit
+    /// barrier, the reader fence, and the tail-capture hook.
+    migrations: Arc<MigrationTable>,
+    /// Durable append-only log of rule commits, cutover intents, and
+    /// completions (`data_dir/rules.log`), replayed at open.
+    rules_log: Arc<RulesLog>,
+    /// Commit-wait applied to every rule's effective time.
+    commit_wait_ms: u64,
 }
 
 /// Key of one tier-2 entry: `(shard, search generation, query
@@ -559,7 +602,20 @@ impl Esdb {
             }
             shards.push(ShardSlot::new(ShardEngine::open(schema.clone(), sc)?));
         }
+        // Restore the durable routing state before anything routes: the
+        // committed rule list and the migrated markings, in log order.
+        let rules_log = Arc::new(RulesLog::new(&config.data_dir));
+        let replayed = rules_log.replay()?;
         let rules = Arc::new(RwLock::new(RuleList::new()));
+        {
+            let mut r = rules.write();
+            for (tenant, offset, t_eff) in &replayed.rules {
+                r.update(*t_eff, *offset, *tenant);
+            }
+            for (tenant, offset) in &replayed.migrated {
+                r.mark_migrated(*tenant, *offset);
+            }
+        }
         let router = Arc::new(match config.routing {
             RoutingMode::Hashing => Router::Hash(HashRouting::new(config.n_shards)),
             RoutingMode::DoubleHashing(s) => {
@@ -609,7 +665,18 @@ impl Esdb {
             rebalance_epochs: AtomicU64::new(0),
             telemetry: Arc::clone(&telemetry),
             timers: timers.clone(),
+            schema: schema.clone(),
+            migrations: Arc::new(MigrationTable::new(config.migration_tail_max_ops)),
+            rules_log,
+            commit_wait_ms: config.commit_wait_ms,
         });
+        // A cutover whose intent was logged but whose completion never
+        // was is finished now, before the instance serves anything:
+        // idempotent logical completion (every row moved to its
+        // new-span placement, sources tombstoned, routing re-marked).
+        for (tenant, offset, t_eff) in &replayed.pending_cutovers {
+            complete_cutover_by_scan(&write, *tenant, *offset, *t_eff)?;
+        }
         let db = Esdb {
             schema,
             shards,
@@ -875,6 +942,7 @@ impl Esdb {
             schema: self.schema.clone(),
             n_shards: self.config.n_shards,
             shards: self.shards.clone(),
+            migrations: Arc::clone(&self.write.migrations),
             filter_cache: self
                 .config
                 .filter_cache_enabled
@@ -913,6 +981,7 @@ impl Esdb {
             schema: &self.schema,
             n_shards: self.config.n_shards,
             shards: &self.shards,
+            migrations: self.write.migrations.as_ref(),
             filter_cache: self
                 .config
                 .filter_cache_enabled
@@ -946,6 +1015,65 @@ impl Esdb {
     /// server's `/admin/rules` endpoint renders this).
     pub fn rules_snapshot(&self) -> Vec<SecondaryHashingRule> {
         self.rules.read().rules().to_vec()
+    }
+
+    /// Live migration state, one entry per tenant whose span ever grew
+    /// under this instance (the server's `/admin/migrations` endpoint
+    /// renders this). Terminal entries stay until the tenant migrates
+    /// again.
+    pub fn migrations_snapshot(&self) -> Vec<MigrationStatus> {
+        self.write.migrations.statuses()
+    }
+
+    /// Advances every live migration one lifecycle phase (commit-wait →
+    /// handoff → drain → cutover). Normally driven by balancer epochs;
+    /// exposed for deterministic stepping in tests and operations.
+    pub fn step_migrations(&mut self) {
+        step_migrations(&self.write);
+    }
+
+    /// Drives every live migration to completion — or to a blocked
+    /// commit-wait when the activation timestamp is still in the
+    /// future. Returns how many migrations reached `Done`.
+    pub fn drive_migrations(&mut self) -> usize {
+        let done = |statuses: &[MigrationStatus]| {
+            statuses
+                .iter()
+                .filter(|s| s.phase == MigrationPhase::Done)
+                .count()
+        };
+        let before = done(&self.write.migrations.statuses());
+        loop {
+            let snapshot = self.write.migrations.statuses();
+            if !snapshot.iter().any(|s| s.phase.is_active()) {
+                break;
+            }
+            step_migrations(&self.write);
+            if self.write.migrations.statuses() == snapshot {
+                break;
+            }
+        }
+        done(&self.write.migrations.statuses()) - before
+    }
+
+    /// Aborts every live migration: staged plans and tails are dropped,
+    /// the balancer re-armed. Committed rules stay (spans never
+    /// shrink); unmoved rows remain readable at their old placement.
+    /// Returns how many migrations were aborted.
+    pub fn abort_migrations(&mut self) -> usize {
+        let _step = self.write.migrations.step_lock.lock();
+        let tenants: Vec<TenantId> = self
+            .write
+            .migrations
+            .entries()
+            .iter()
+            .filter(|e| e.phase.is_active())
+            .map(|e| e.tenant)
+            .collect();
+        for t in &tenants {
+            abort_migration(&self.write, *t);
+        }
+        tenants.len()
     }
 
     /// Aggregated statistics.
@@ -1085,6 +1213,11 @@ impl Esdb {
                 "journal_capacity".to_string(),
                 c.telemetry.journal_capacity.to_string(),
             ),
+            ("commit_wait_ms".to_string(), c.commit_wait_ms.to_string()),
+            (
+                "migration_tail_max_ops".to_string(),
+                c.migration_tail_max_ops.to_string(),
+            ),
         ];
         bundle.rules = {
             let rules = self.rules.read();
@@ -1104,6 +1237,7 @@ impl Esdb {
             out.push(']');
             out
         };
+        bundle.migrations = statuses_to_json(&self.migrations_snapshot());
         bundle
     }
 
@@ -1117,6 +1251,9 @@ impl Esdb {
             registry
                 .gauge("esdb_rules_active", Labels::none())
                 .set(self.rule_count() as i64);
+            registry
+                .gauge("esdb_migrations_active", Labels::none())
+                .set(self.write.migrations.active_count() as i64);
             for (tier, s) in [
                 ("filter", self.filter_cache.stats()),
                 ("request", self.request_cache.stats()),
@@ -1184,8 +1321,14 @@ impl Esdb {
 fn write_one(ws: &WriteState, op: WriteOp) -> Result<ShardId> {
     let t0 = ws.timers.as_ref().map(|_| Instant::now());
     let (tenant, record, created_at) = op.routing();
+    // The permit covers route → apply, so a migration cutover switching
+    // placements can barrier until no write is between the two. It must
+    // be released before the rebalance hook: the claiming writer may
+    // run the cutover itself, and the barrier waits on permits.
+    let permit = ws.migrations.begin_write();
     let shard = ws.router.route(tenant, record, created_at);
     let out = submit_group(ws, shard, vec![op], false, 0);
+    drop(permit);
     if let Some(e) = out.first_err {
         return Err(e);
     }
@@ -1218,6 +1361,11 @@ fn write_batch_shared(
     // once routed).
     let mut buckets: Vec<Vec<WriteOp>> = Vec::new();
     buckets.resize_with(ws.n_shards as usize, Vec::new);
+    // One permit for the whole batch: routing below and application on
+    // the executor both happen under it, so no op of the batch can
+    // straddle a migration cutover's placement switch. Released before
+    // the rebalance hook (the barrier waits on permits).
+    let permit = ws.migrations.begin_write();
     {
         let _span = trace.as_ref().map(|t| t.span("batch_group", 0));
         for op in ops {
@@ -1244,6 +1392,7 @@ fn write_batch_shared(
         let ops = cell.lock().take().expect("each group is submitted once");
         submit_group(ws, *shard, ops, true, trace_id)
     });
+    drop(permit);
     let mut applied = BatchApplied::default();
     let mut first_err = None;
     for ((shard, _), out) in groups.iter().zip(outcomes) {
@@ -1386,6 +1535,15 @@ fn drain_write_queue(
                         let (tenant, _, _) = op.routing();
                         let bytes = op.doc.approx_size() as u64;
                         translog_bytes += bytes;
+                        // Migration tail capture, at the op's success
+                        // point: while a handoff is in flight, pre-rule
+                        // ops that just landed at an old placement are
+                        // recorded (with the shard they hit) so cutover
+                        // can re-route them. One atomic load when no
+                        // migration is active.
+                        if ws.migrations.any_active() {
+                            ws.migrations.capture(op, shard.0);
+                        }
                         ws.monitor.record_write(
                             tenant,
                             shard,
@@ -1493,6 +1651,11 @@ fn rebalance_pass(ws: &WriteState) -> usize {
     let committed = proposals.len();
     if committed > 0 {
         let t = ws.clock.now();
+        // Commit-wait (§4.2 on the live clock): the rule activates at
+        // `commit + wait`, so every participant — however skewed within
+        // the wait — agrees on which side of the rule a record falls
+        // before any record can carry a timestamp past it.
+        let t_eff = t + ws.commit_wait_ms;
         let commit_t0 = claim.map(|_| Instant::now());
         let mut rules = ws.rules.write();
         // Spans before the commit, read under the same write-lock hold
@@ -1501,12 +1664,15 @@ fn rebalance_pass(ws: &WriteState) -> usize {
             .iter()
             .map(|p| rules.offset_for_write(p.tenant, t))
             .collect();
-        LoadBalancer::commit_direct(&proposals, &mut rules, t);
+        LoadBalancer::commit_direct(&proposals, &mut rules, t_eff);
         drop(rules);
-        if claim.is_some() {
-            let commit_wait_ns = commit_t0.map_or(0, elapsed_ns);
-            for (p, old_span) in proposals.iter().zip(old_spans) {
-                ws.telemetry.emit(
+        let commit_wait_ns = commit_t0.map_or(0, elapsed_ns);
+        for (p, old_span) in proposals.iter().zip(old_spans) {
+            // Durable before acted on: a crash from here on replays the
+            // rule at open, so acked writes routed by it stay routable.
+            let _ = ws.rules_log.append_rule(p.tenant, p.offset, t_eff);
+            let started_seq = if claim.is_some() {
+                let rule_seq = ws.telemetry.emit(
                     EventKind::RuleAppended {
                         tenant: p.tenant.0,
                         old_span,
@@ -1516,7 +1682,38 @@ fn rebalance_pass(ws: &WriteState) -> usize {
                     Labels::tenant(p.tenant.0),
                     p.detected_seq,
                 );
-            }
+                ws.telemetry.emit(
+                    EventKind::MigrationStarted {
+                        tenant: p.tenant.0,
+                        old_span,
+                        new_span: p.offset,
+                        effective_time: t_eff,
+                    },
+                    Labels::tenant(p.tenant.0),
+                    rule_seq,
+                )
+            } else {
+                NO_PARENT
+            };
+            // The committed rule becomes a live migration: the tenant's
+            // pre-rule rows will be handed off to the widened span.
+            ws.migrations.register(MigrationEntry {
+                tenant: p.tenant,
+                old_span,
+                new_span: p.offset,
+                effective_time: t_eff,
+                last_seq: started_seq,
+                phase: MigrationPhase::CommitWait,
+                plan: None,
+                tail: Vec::new(),
+                capturing: false,
+                overflowed: false,
+                needs_recovery: false,
+                rows_moved: 0,
+                bytes_shipped: 0,
+                segments_shipped: 0,
+                tail_ops: 0,
+            });
         }
     }
     if let Some((epoch, claim_seq)) = claim {
@@ -1529,7 +1726,490 @@ fn rebalance_pass(ws: &WriteState) -> usize {
             claim_seq,
         );
     }
+    // Advance every live migration one lifecycle phase. Each pass moves
+    // commit-wait → handoff/draining, and the next pass performs the
+    // cutover, so a migration completes within two rebalance epochs
+    // without any writer ever blocking on the export.
+    step_migrations(ws);
     committed
+}
+
+/// Advances every live migration one lifecycle phase. Serialized by the
+/// table's step lock (`try_lock`: concurrent epochs skip stepping, they
+/// never wait), so each phase transition runs exactly once.
+fn step_migrations(ws: &WriteState) {
+    let Some(_step) = ws.migrations.step_lock.try_lock() else {
+        return;
+    };
+    // Snapshot the active tenants; the entries lock is never held
+    // across engine work (the write path's capture hook needs it).
+    let pending: Vec<TenantId> = ws
+        .migrations
+        .entries()
+        .iter()
+        .filter(|e| e.phase.is_active())
+        .map(|e| e.tenant)
+        .collect();
+    for tenant in pending {
+        step_one_migration(ws, tenant);
+    }
+}
+
+/// One phase transition for one tenant's migration.
+fn step_one_migration(ws: &WriteState, tenant: TenantId) {
+    let (phase, t_eff, new_span, overflowed, needs_recovery) = {
+        let entries = ws.migrations.entries();
+        let Some(e) = entries
+            .iter()
+            .find(|e| e.tenant == tenant && e.phase.is_active())
+        else {
+            return;
+        };
+        (
+            e.phase,
+            e.effective_time,
+            e.new_span,
+            e.overflowed,
+            e.needs_recovery,
+        )
+    };
+    match phase {
+        MigrationPhase::CommitWait => {
+            // Nothing moves until the live clock passes the rule's
+            // activation timestamp: after that, no new record can carry
+            // a timestamp on the old side of the rule.
+            if ws.clock.now() >= t_eff {
+                begin_handoff(ws, tenant, t_eff, new_span);
+            }
+        }
+        MigrationPhase::Handoff | MigrationPhase::Draining => {
+            if overflowed {
+                abort_migration(ws, tenant);
+            } else {
+                perform_cutover(ws, tenant, t_eff, new_span);
+            }
+        }
+        MigrationPhase::Cutover => {
+            // Only reachable when a cutover attempt failed *after* its
+            // durable intent was logged: completion is owed, run the
+            // idempotent logical completion (retried every step until
+            // it lands).
+            if needs_recovery {
+                if let Ok(rows) = complete_cutover_by_scan(ws, tenant, new_span, t_eff) {
+                    finish_migration_done(ws, tenant, rows, 0, 0);
+                }
+            }
+        }
+        MigrationPhase::Done | MigrationPhase::Aborted => {}
+    }
+}
+
+/// Commit-wait elapsed → export the tenant's pre-rule rows into
+/// per-destination shipped segments while writes keep flowing.
+fn begin_handoff(ws: &WriteState, tenant: TenantId, t_eff: TimestampMs, new_span: u32) {
+    // 1. Tail capture on FIRST: a pre-rule write landing between here
+    //    and the snapshot pins appears in both the export and the tail,
+    //    and re-applying it at cutover is idempotent. The reverse order
+    //    would lose writes that land just after the pin.
+    {
+        let mut entries = ws.migrations.entries();
+        let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.tenant == tenant && e.phase.is_active())
+        else {
+            return;
+        };
+        e.phase = MigrationPhase::Handoff;
+        e.capturing = true;
+    }
+    // 2. The widened span covers every historical placement
+    //    (consecutive spans nest) and `now >= effective_time`, so the
+    //    current read span is the full source set.
+    let source_shards: Vec<ShardId> = ws.router.span(tenant, ws.clock.now()).iter().collect();
+    // 3. Refresh sources so buffered rows are in the pinned snapshots,
+    //    then export — per-destination segments built entirely outside
+    //    the engine locks.
+    for s in &source_shards {
+        ws.shards[s.index()].with_write(|e| e.refresh());
+    }
+    let sources: Vec<(u32, Arc<ShardSnapshot>)> = source_shards
+        .iter()
+        .map(|s| (s.0, ws.shards[s.index()].snapshots.pin()))
+        .collect();
+    let mut indexed: FastSet<String> = fast_set();
+    for (_, snap) in &sources {
+        for attr in snap.indexed_attrs() {
+            indexed.insert(attr.clone());
+        }
+    }
+    let n = ws.n_shards;
+    let plan = build_handoff(&sources, &ws.schema, &indexed, tenant, t_eff, &|d| {
+        place(tenant, d.record_id, new_span, n).0
+    });
+    // 4. Stage the plan; the migration drains its tail until cutover.
+    let segments = plan.shipments.len() as u32;
+    let (rows, bytes) = (plan.rows_total, plan.bytes_total);
+    let mut entries = ws.migrations.entries();
+    let Some(e) = entries
+        .iter_mut()
+        .find(|e| e.tenant == tenant && e.phase.is_active())
+    else {
+        return;
+    };
+    if ws.telemetry.enabled() {
+        e.last_seq = ws.telemetry.emit(
+            EventKind::MigrationSegmentsShipped {
+                tenant: tenant.0,
+                segments,
+                rows,
+                bytes,
+            },
+            Labels::tenant(tenant.0),
+            e.last_seq,
+        );
+    }
+    e.segments_shipped = segments;
+    e.bytes_shipped = bytes;
+    e.plan = Some(plan);
+    e.phase = MigrationPhase::Draining;
+}
+
+/// The cutover: barrier writes, make the placement switch durable and
+/// visible, release. Readers that overlap the window retry (the
+/// migration version is bumped on entry and exit).
+fn perform_cutover(ws: &WriteState, tenant: TenantId, t_eff: TimestampMs, new_span: u32) {
+    let t0 = Instant::now();
+    // No new write permits; wait out the in-flight ones. On return, no
+    // write is between routing and apply anywhere.
+    ws.migrations.close_write_barrier();
+    ws.migrations.bump_version();
+    // Durable intent: once this line is synced, completion is
+    // inevitable — a crash re-runs the idempotent completion at open.
+    // A failed sync aborts instead: nothing has moved yet.
+    if ws
+        .rules_log
+        .append_cutover(tenant, new_span, t_eff)
+        .is_err()
+    {
+        ws.migrations.bump_version();
+        ws.migrations.open_write_barrier();
+        abort_migration(ws, tenant);
+        return;
+    }
+    let (plan, tail) = {
+        let mut entries = ws.migrations.entries();
+        let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.tenant == tenant && e.phase.is_active())
+        else {
+            ws.migrations.bump_version();
+            ws.migrations.open_write_barrier();
+            return;
+        };
+        e.capturing = false;
+        e.phase = MigrationPhase::Cutover;
+        (e.plan.take(), std::mem::take(&mut e.tail))
+    };
+    let plan = plan.unwrap_or(HandoffPlan {
+        shipments: Vec::new(),
+        exported: Vec::new(),
+        rows_total: 0,
+        bytes_total: 0,
+    });
+    let tail_ops = tail.len() as u64;
+    match apply_cutover(ws, tenant, new_span, plan, &tail) {
+        Ok(rows_moved) => {
+            ws.migrations.bump_version();
+            ws.migrations.open_write_barrier();
+            finish_migration_done(ws, tenant, rows_moved, tail_ops, elapsed_ns(t0));
+        }
+        Err(_) => {
+            // The intent is durable, so completion is owed. Release the
+            // barrier for liveness and flag the entry: the next step —
+            // or the next open — runs the logical completion.
+            {
+                let mut entries = ws.migrations.entries();
+                if let Some(e) = entries
+                    .iter_mut()
+                    .find(|e| e.tenant == tenant && e.phase.is_active())
+                {
+                    e.needs_recovery = true;
+                }
+            }
+            ws.migrations.bump_version();
+            ws.migrations.open_write_barrier();
+        }
+    }
+}
+
+/// The cutover body, runnable only inside the closed write barrier:
+/// adopt shipments, re-route the captured tail, flush destinations
+/// durable, tombstone sources, switch routing.
+fn apply_cutover(
+    ws: &WriteState,
+    tenant: TenantId,
+    new_span: u32,
+    plan: HandoffPlan,
+    tail: &[(WriteOp, u32)],
+) -> Result<u64> {
+    let HandoffPlan {
+        shipments,
+        exported,
+        rows_total,
+        ..
+    } = plan;
+    let mut rows_moved = rows_total;
+    let mut dests: FastSet<u32> = fast_set();
+    // 1. Destinations adopt the shipped segments: searchable in their
+    //    published views immediately, durable at the flush below.
+    for s in shipments {
+        let dest = s.dest;
+        ws.shards[dest as usize].with_write(|e| e.adopt_segment(s.segment));
+        dests.insert(dest);
+    }
+    // 2. Re-apply the captured tail at the new placement, in capture
+    //    order. Ops already at their new home are left alone; moved
+    //    inserts/updates queue a tombstone for their source copy,
+    //    deletes propagate to the (possibly shipped) destination copy.
+    let mut source_dels: Vec<(u32, WriteOp)> = Vec::new();
+    for (op, applied_shard) in tail {
+        let (k1, k2, tc) = op.routing();
+        let dest = place(k1, k2, new_span, ws.n_shards).0;
+        if dest == *applied_shard {
+            continue;
+        }
+        ws.shards[dest as usize].with_write(|e| e.apply(op))?;
+        dests.insert(dest);
+        rows_moved += 1;
+        if !matches!(op.kind, WriteKind::Delete) {
+            source_dels.push((*applied_shard, WriteOp::delete(k1, k2, tc)));
+        }
+    }
+    // 3. Destinations durable BEFORE any source copy disappears — every
+    //    row has at least one durable home at every instant. (Flush
+    //    refreshes internally, so adopted segments and tail rows become
+    //    visible and persisted together.)
+    for d in &dests {
+        ws.shards[*d as usize].with_write(|e| e.flush())?;
+    }
+    // 4. Tombstone every copy that left a source shard.
+    let mut sources: FastSet<u32> = fast_set();
+    for (src, op) in &source_dels {
+        ws.shards[*src as usize].with_write(|e| e.apply(op))?;
+        sources.insert(*src);
+    }
+    for ex in &exported {
+        for (rid, created_at) in &ex.rows {
+            let del = WriteOp::delete(tenant, RecordId(*rid), *created_at);
+            ws.shards[ex.source as usize].with_write(|e| e.apply(&del))?;
+        }
+        sources.insert(ex.source);
+    }
+    for s in &sources {
+        ws.shards[*s as usize].with_write(|e| e.flush())?;
+    }
+    // 5. Routing switch: `offset_for_write` now returns the migrated
+    //    offset for ANY creation time, so point ops on pre-rule records
+    //    route to their new placement. Then the durable completion.
+    ws.rules.write().mark_migrated(tenant, new_span);
+    let _ = ws.rules_log.append_migrated(tenant, new_span);
+    Ok(rows_moved)
+}
+
+/// Idempotent logical completion of a cutover whose intent is durable:
+/// scan every shard for the tenant's pre-rule rows, move each to its
+/// new-span placement, tombstone the rest. Used at open (crash between
+/// the `cutover` and `migrated` log lines) and when a live cutover
+/// attempt fails mid-flight.
+fn complete_cutover_by_scan(
+    ws: &WriteState,
+    tenant: TenantId,
+    new_span: u32,
+    t_eff: TimestampMs,
+) -> Result<u64> {
+    // Everything searchable first: translog recovery leaves rows
+    // buffered, and the scan below reads published snapshots.
+    for slot in &ws.shards {
+        slot.with_write(|e| e.refresh());
+    }
+    // record → (copy to keep, shards holding a copy). A crash
+    // mid-cutover can leave a row at both its source and destination;
+    // the destination copy wins — it may carry tail ops the source
+    // never saw.
+    let mut copies: FastMap<u64, (Document, Vec<u32>)> = fast_map();
+    for (i, slot) in ws.shards.iter().enumerate() {
+        let shard = i as u32;
+        let snap = slot.snapshots.pin();
+        let mut seen_here: FastSet<u64> = fast_set();
+        for seg in snap.segments() {
+            for (_, doc) in seg.live_docs() {
+                if doc.tenant_id != tenant || doc.created_at > t_eff {
+                    continue;
+                }
+                let rid = doc.record_id.raw();
+                if !seen_here.insert(rid) {
+                    continue;
+                }
+                let entry = copies
+                    .entry(rid)
+                    .or_insert_with(|| (doc.clone(), Vec::new()));
+                entry.1.push(shard);
+                if place(tenant, doc.record_id, new_span, ws.n_shards).0 == shard {
+                    entry.0 = doc.clone();
+                }
+            }
+        }
+    }
+    let mut moves: Vec<(u32, WriteOp)> = Vec::new();
+    let mut dels: Vec<(u32, WriteOp)> = Vec::new();
+    for (_, (doc, holders)) in copies {
+        let dest = place(tenant, doc.record_id, new_span, ws.n_shards).0;
+        for h in &holders {
+            if *h != dest {
+                dels.push((*h, WriteOp::delete(tenant, doc.record_id, doc.created_at)));
+            }
+        }
+        if !holders.contains(&dest) {
+            moves.push((dest, WriteOp::insert(doc)));
+        }
+    }
+    let rows_moved = moves.len() as u64;
+    // Same ordering discipline as the live cutover: destination copies
+    // durable before any source copy disappears.
+    let mut dests: FastSet<u32> = fast_set();
+    for (dest, op) in &moves {
+        ws.shards[*dest as usize].with_write(|e| e.apply(op))?;
+        dests.insert(*dest);
+    }
+    for d in &dests {
+        ws.shards[*d as usize].with_write(|e| e.flush())?;
+    }
+    let mut sources: FastSet<u32> = fast_set();
+    for (src, op) in &dels {
+        ws.shards[*src as usize].with_write(|e| e.apply(op))?;
+        sources.insert(*src);
+    }
+    for s in &sources {
+        ws.shards[*s as usize].with_write(|e| e.flush())?;
+    }
+    ws.rules.write().mark_migrated(tenant, new_span);
+    ws.migrations.bump_version();
+    let _ = ws.rules_log.append_migrated(tenant, new_span);
+    Ok(rows_moved)
+}
+
+/// Marks one migration `Done`: journal chain (tail drained → cutover →
+/// completed) and the `esdb_migration_*` counters.
+fn finish_migration_done(
+    ws: &WriteState,
+    tenant: TenantId,
+    rows_moved: u64,
+    tail_ops: u64,
+    cutover_ns: u64,
+) {
+    let (old_span, new_span, parent, segments, bytes) = {
+        let mut entries = ws.migrations.entries();
+        let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.tenant == tenant && e.phase.is_active())
+        else {
+            return;
+        };
+        e.rows_moved += rows_moved;
+        let out = (
+            e.old_span,
+            e.new_span,
+            e.last_seq,
+            e.segments_shipped,
+            e.bytes_shipped,
+        );
+        ws.migrations.finish(e, MigrationPhase::Done);
+        out
+    };
+    if ws.telemetry.enabled() {
+        let drained = ws.telemetry.emit(
+            EventKind::MigrationTailDrained {
+                tenant: tenant.0,
+                ops: tail_ops,
+            },
+            Labels::tenant(tenant.0),
+            parent,
+        );
+        let cut = ws.telemetry.emit(
+            EventKind::MigrationCutover {
+                tenant: tenant.0,
+                rows_moved,
+                tail_ops,
+                cutover_ns,
+            },
+            Labels::tenant(tenant.0),
+            drained,
+        );
+        ws.telemetry.emit(
+            EventKind::MigrationCompleted {
+                tenant: tenant.0,
+                old_span,
+                new_span,
+            },
+            Labels::tenant(tenant.0),
+            cut,
+        );
+        let registry = ws.telemetry.registry();
+        registry
+            .counter("esdb_migration_segments_moved_total", Labels::none())
+            .add(segments as u64);
+        registry
+            .counter("esdb_migration_bytes_shipped_total", Labels::none())
+            .add(bytes);
+        registry
+            .counter("esdb_migration_rows_moved_total", Labels::none())
+            .add(rows_moved);
+        registry
+            .counter("esdb_migration_tail_ops_total", Labels::none())
+            .add(tail_ops);
+        registry
+            .histogram("esdb_migration_cutover_ns", Labels::none())
+            .record(cutover_ns);
+        registry
+            .counter("esdb_migration_completed_total", Labels::none())
+            .inc();
+    }
+}
+
+/// Aborts one migration: staged plan and tail dropped, capture off, the
+/// balancer re-armed. The committed rule stays — the append-only list
+/// keeps the span grown for future records, old rows simply never move,
+/// and read-your-writes holds throughout (the read span still covers
+/// every historical placement).
+fn abort_migration(ws: &WriteState, tenant: TenantId) {
+    let (new_span, parent, phase) = {
+        let mut entries = ws.migrations.entries();
+        let Some(e) = entries
+            .iter_mut()
+            .find(|e| e.tenant == tenant && e.phase.is_active())
+        else {
+            return;
+        };
+        let out = (e.new_span, e.last_seq, e.phase.as_str());
+        ws.migrations.finish(e, MigrationPhase::Aborted);
+        out
+    };
+    ws.balancer.lock().on_abort(tenant, new_span);
+    ws.migrations.bump_version();
+    if ws.telemetry.enabled() {
+        ws.telemetry.emit(
+            EventKind::MigrationAborted {
+                tenant: tenant.0,
+                phase,
+            },
+            Labels::tenant(tenant.0),
+            parent,
+        );
+        ws.telemetry
+            .registry()
+            .counter("esdb_migration_aborted_total", Labels::none())
+            .inc();
+    }
 }
 
 /// A clone-able write handle over a shared [`Esdb`] instance — the
@@ -1595,6 +2275,7 @@ struct ReadPath<'a> {
     schema: &'a CollectionSchema,
     n_shards: u32,
     shards: &'a [Arc<ShardSlot>],
+    migrations: &'a MigrationTable,
     filter_cache: Option<&'a SegmentFilterCache>,
     request_cache: Option<&'a ShardedCache<RequestCacheKey, Arc<QueryRows>>>,
     executor: &'a Executor,
@@ -1646,133 +2327,144 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
     // Record sub-attribute usage for frequency-based indexing (shared
     // tracker — no engine lock).
     record_attr_usage(&query.filter, rp.shards);
-    // Route: the tenant's span when the filter pins `tenant_id`,
-    // otherwise every shard. The route and plan stages share clock
-    // reads at their boundary and land in one batched push.
-    let t_route = trace.as_ref().map(QueryTrace::now_ns);
-    let span = match extract_tenant(&query.filter) {
-        Some(tenant) => rp.router.span(tenant, rp.clock.now()),
-        None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
-    };
-    // Plan once per query: plans depend only on the filter and the
-    // schema, so every shard of the fan-out shares one plan (and one
-    // fingerprint annotation).
-    let t_plan = trace.as_ref().map(QueryTrace::now_ns);
-    let plan = if opts.use_optimizer {
-        optimize(&query.filter, rp.schema)
-    } else {
-        naive_plan(&query.filter)
-    };
-    if let (Some(t), Some(r0), Some(p0)) = (trace.as_ref(), t_route, t_plan) {
-        let end = t.now_ns();
-        t.record_span_batch(&[
-            ("route", 0, None, r0, p0.saturating_sub(r0)),
-            ("plan", 0, None, p0, end.saturating_sub(p0)),
-        ]);
-    }
-    let prepared = PreparedPlan::new(&plan);
-    let fp = query_fingerprint(&plan, &query);
-    // Executor choice is made once per query, from the plan shape alone:
-    // the block path runs whenever it is enabled and every residual
-    // predicate is a flat comparison (no nested booleans). Both
-    // executors are row-identical by construction — the scalar one stays
-    // the always-available equivalence oracle.
-    let use_blocks = opts.block_execution && block_eligible(&plan);
-    // Scatter: each shard in the span pins its published snapshot and
-    // executes independently. The executor returns results in span
-    // order, so the gather below is deterministic for any parallelism
-    // degree.
-    let span_shards: Vec<ShardId> = span.iter().collect();
-    let query = &query;
-    let prepared = &prepared;
-    let trace_ref = trace.as_ref();
-    let shard_results: Vec<QueryRows> = rp.executor.map(&span_shards, |_, shard| {
-        let slot = &rp.shards[shard.index()];
-        let t_busy = Instant::now();
-        // Pin once. This is the read path's only synchronization: two
-        // ref-count bumps under a sub-microsecond cell lock. Planning,
-        // cache probes, posting intersection, and row materialization
-        // below all run against the immutable view.
-        let snap = slot.snapshots.pin();
-        // Tier 2: the whole per-shard result. The generation is read
-        // out of the *pinned* snapshot, so key and data always travel
-        // together — a concurrent refresh between pin and probe cannot
-        // pair the new generation with the old segments (or vice
-        // versa).
-        let key: RequestCacheKey = (shard.0, snap.search_generation(), fp);
-        let hit = rp.request_cache.and_then(|rc| rc.get(&key));
-        // The probe/execute boundary is the one per-shard instant the
-        // busy-accounting reads can't supply. Head-sampled traces pay
-        // the extra clock read for the fine-grained `cache_probe` stage
-        // (it feeds the per-stage histograms); capture-only traces keep
-        // the coarse tree — every stage a slow query needs — for free.
-        let t_probe = trace_ref.filter(|_| sampled).map(QueryTrace::now_ns);
-        let rows = match hit {
-            Some(hit) => (*hit).clone(),
-            None => {
-                // Tier 1: per-segment posting lists of cacheable
-                // sub-plans (namespaced by shard — segment ids repeat
-                // across shards).
-                let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
-                    cache,
-                    shard: shard.0,
-                });
-                let rows = if use_blocks {
-                    execute_prepared_blocks_on_snapshot(
-                        query,
-                        prepared,
-                        snap.as_ref(),
-                        ctx.as_ref(),
-                    )
-                } else {
-                    execute_prepared_on_snapshot(query, prepared, snap.as_ref(), ctx.as_ref())
-                };
-                if let Some(rc) = rp.request_cache {
-                    rc.insert(key, Arc::new(rows.clone()), 1);
-                }
-                rows
-            }
+    // Migration fence: the span is read here, the snapshots are pinned
+    // later — a cutover between the two could hide rows mid-move. The
+    // attempt retries whenever the migration version moves underneath
+    // it (bumped on cutover entry AND exit, so any overlap is seen).
+    let (merged, plan, fp, use_blocks, fanout) = loop {
+        rp.migrations.wait_read_stable();
+        let mv0 = rp.migrations.version();
+        // Route: the tenant's span when the filter pins `tenant_id`,
+        // otherwise every shard. The route and plan stages share clock
+        // reads at their boundary and land in one batched push.
+        let t_route = trace.as_ref().map(QueryTrace::now_ns);
+        let span = match extract_tenant(&query.filter) {
+            Some(tenant) => rp.router.span(tenant, rp.clock.now()),
+            None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
         };
-        // Every shard of the fan-out reports an execute sample — cache
-        // hits and empty result sets included — so a gather over k
-        // shards always sees exactly k samples and per-shard timing
-        // never has holes. Block set operations report their own wall
-        // time as a stage, so slow-query traces show where skip-pruning
-        // spent (or saved) it. Span boundaries reuse the busy-accounting
-        // clock reads (plus one mid read at the probe boundary) and all
-        // of this shard's samples land in a single batched push, so tail
-        // capture adds one clock read per shard, not one per stage.
-        let t_end = Instant::now();
-        if let Some(t) = trace_ref {
-            let s0 = t.offset_of(t_busy);
-            let end = t.offset_of(t_end);
-            let sh = Some(shard.0);
-            let mut batch = [("", 0, sh, 0, 0); 3];
-            let mut n = 0;
-            if let Some(probe_end) = t_probe {
-                batch[n] = ("cache_probe", 0, sh, s0, probe_end.saturating_sub(s0));
-                n += 1;
-            }
-            if use_blocks {
-                let prune = rows.block_prune_ns;
-                batch[n] = ("block_prune", 0, sh, end.saturating_sub(prune), prune);
-                n += 1;
-            }
-            batch[n] = ("execute", 0, sh, s0, end.saturating_sub(s0));
-            n += 1;
-            t.record_span_batch(&batch[..n]);
+        // Plan once per query: plans depend only on the filter and the
+        // schema, so every shard of the fan-out shares one plan (and one
+        // fingerprint annotation).
+        let t_plan = trace.as_ref().map(QueryTrace::now_ns);
+        let plan = if opts.use_optimizer {
+            optimize(&query.filter, rp.schema)
+        } else {
+            naive_plan(&query.filter)
+        };
+        if let (Some(t), Some(r0), Some(p0)) = (trace.as_ref(), t_route, t_plan) {
+            let end = t.now_ns();
+            t.record_span_batch(&[
+                ("route", 0, None, r0, p0.saturating_sub(r0)),
+                ("plan", 0, None, p0, end.saturating_sub(p0)),
+            ]);
         }
-        // Lock-free execution still serves this shard's data, so the
-        // time is charged to its busy counter explicitly.
-        slot.busy_micros.fetch_add(
-            t_end.duration_since(t_busy).as_micros() as u64,
-            Ordering::Relaxed,
-        );
-        rows
-    });
-    let merged = {
-        let _span = trace_ref.map(|t| t.span("gather", 0));
-        merge_results(shard_results, query.order_by.as_ref(), query.limit)
+        let prepared = PreparedPlan::new(&plan);
+        let fp = query_fingerprint(&plan, &query);
+        // Executor choice is made once per query, from the plan shape alone:
+        // the block path runs whenever it is enabled and every residual
+        // predicate is a flat comparison (no nested booleans). Both
+        // executors are row-identical by construction — the scalar one stays
+        // the always-available equivalence oracle.
+        let use_blocks = opts.block_execution && block_eligible(&plan);
+        // Scatter: each shard in the span pins its published snapshot and
+        // executes independently. The executor returns results in span
+        // order, so the gather below is deterministic for any parallelism
+        // degree.
+        let span_shards: Vec<ShardId> = span.iter().collect();
+        let query = &query;
+        let prepared = &prepared;
+        let trace_ref = trace.as_ref();
+        let shard_results: Vec<QueryRows> = rp.executor.map(&span_shards, |_, shard| {
+            let slot = &rp.shards[shard.index()];
+            let t_busy = Instant::now();
+            // Pin once. This is the read path's only synchronization: two
+            // ref-count bumps under a sub-microsecond cell lock. Planning,
+            // cache probes, posting intersection, and row materialization
+            // below all run against the immutable view.
+            let snap = slot.snapshots.pin();
+            // Tier 2: the whole per-shard result. The generation is read
+            // out of the *pinned* snapshot, so key and data always travel
+            // together — a concurrent refresh between pin and probe cannot
+            // pair the new generation with the old segments (or vice
+            // versa).
+            let key: RequestCacheKey = (shard.0, snap.search_generation(), fp);
+            let hit = rp.request_cache.and_then(|rc| rc.get(&key));
+            // The probe/execute boundary is the one per-shard instant the
+            // busy-accounting reads can't supply. Head-sampled traces pay
+            // the extra clock read for the fine-grained `cache_probe` stage
+            // (it feeds the per-stage histograms); capture-only traces keep
+            // the coarse tree — every stage a slow query needs — for free.
+            let t_probe = trace_ref.filter(|_| sampled).map(QueryTrace::now_ns);
+            let rows = match hit {
+                Some(hit) => (*hit).clone(),
+                None => {
+                    // Tier 1: per-segment posting lists of cacheable
+                    // sub-plans (namespaced by shard — segment ids repeat
+                    // across shards).
+                    let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
+                        cache,
+                        shard: shard.0,
+                    });
+                    let rows = if use_blocks {
+                        execute_prepared_blocks_on_snapshot(
+                            query,
+                            prepared,
+                            snap.as_ref(),
+                            ctx.as_ref(),
+                        )
+                    } else {
+                        execute_prepared_on_snapshot(query, prepared, snap.as_ref(), ctx.as_ref())
+                    };
+                    if let Some(rc) = rp.request_cache {
+                        rc.insert(key, Arc::new(rows.clone()), 1);
+                    }
+                    rows
+                }
+            };
+            // Every shard of the fan-out reports an execute sample — cache
+            // hits and empty result sets included — so a gather over k
+            // shards always sees exactly k samples and per-shard timing
+            // never has holes. Block set operations report their own wall
+            // time as a stage, so slow-query traces show where skip-pruning
+            // spent (or saved) it. Span boundaries reuse the busy-accounting
+            // clock reads (plus one mid read at the probe boundary) and all
+            // of this shard's samples land in a single batched push, so tail
+            // capture adds one clock read per shard, not one per stage.
+            let t_end = Instant::now();
+            if let Some(t) = trace_ref {
+                let s0 = t.offset_of(t_busy);
+                let end = t.offset_of(t_end);
+                let sh = Some(shard.0);
+                let mut batch = [("", 0, sh, 0, 0); 3];
+                let mut n = 0;
+                if let Some(probe_end) = t_probe {
+                    batch[n] = ("cache_probe", 0, sh, s0, probe_end.saturating_sub(s0));
+                    n += 1;
+                }
+                if use_blocks {
+                    let prune = rows.block_prune_ns;
+                    batch[n] = ("block_prune", 0, sh, end.saturating_sub(prune), prune);
+                    n += 1;
+                }
+                batch[n] = ("execute", 0, sh, s0, end.saturating_sub(s0));
+                n += 1;
+                t.record_span_batch(&batch[..n]);
+            }
+            // Lock-free execution still serves this shard's data, so the
+            // time is charged to its busy counter explicitly.
+            slot.busy_micros.fetch_add(
+                t_end.duration_since(t_busy).as_micros() as u64,
+                Ordering::Relaxed,
+            );
+            rows
+        });
+        let merged = {
+            let _span = trace_ref.map(|t| t.span("gather", 0));
+            merge_results(shard_results, query.order_by.as_ref(), query.limit)
+        };
+        if rp.migrations.version() == mv0 {
+            break (merged, plan, fp, use_blocks, span_shards.len() as u32);
+        }
     };
     rp.count_exec_path(use_blocks, &merged.blocks);
     let total_ns = t0.map(elapsed_ns);
@@ -1799,7 +2491,7 @@ fn run_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<QueryRo
                 plan: plan.to_string(),
                 fingerprint: fp,
                 tenant: extract_tenant(&query.filter).map(|t| t.0),
-                fanout: span_shards.len() as u32,
+                fanout,
                 total_ns: ns,
                 stages: samples.unwrap_or_default(),
             });
@@ -1833,120 +2525,128 @@ fn run_agg_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<Agg
     let (capture, sampled) = rp.telemetry.trace_decision();
     let trace = capture.then(QueryTrace::new);
     record_attr_usage(&query.filter, rp.shards);
-    let t_route = trace.as_ref().map(QueryTrace::now_ns);
-    let span = match extract_tenant(&query.filter) {
-        Some(tenant) => rp.router.span(tenant, rp.clock.now()),
-        None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
-    };
-    let t_plan = trace.as_ref().map(QueryTrace::now_ns);
-    let plan = if opts.use_optimizer {
-        optimize(&query.filter, rp.schema)
-    } else {
-        naive_plan(&query.filter)
-    };
-    if let (Some(t), Some(r0), Some(p0)) = (trace.as_ref(), t_route, t_plan) {
-        let end = t.now_ns();
-        t.record_span_batch(&[
-            ("route", 0, None, r0, p0.saturating_sub(r0)),
-            ("plan", 0, None, p0, end.saturating_sub(p0)),
-        ]);
-    }
-    let prepared = PreparedPlan::new(&plan);
-    let fp = query_fingerprint(&plan, &query);
-    let pushdown = opts.block_execution
-        && block_eligible(&plan)
-        && aggregate_pushdown_eligible(&query, rp.schema);
-    let span_shards: Vec<ShardId> = span.iter().collect();
-    let prepared = &prepared;
-    let trace_ref = trace.as_ref();
-    let result = if pushdown {
-        let query_ref = &query;
-        let partials: Vec<AggPartials> = rp.executor.map(&span_shards, |_, shard| {
-            let slot = &rp.shards[shard.index()];
-            let t_busy = Instant::now();
-            let snap = slot.snapshots.pin();
-            let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
-                cache,
-                shard: shard.0,
-            });
-            let part = aggregate_prepared_blocks_on_snapshot(
-                query_ref,
-                prepared,
-                snap.as_ref(),
-                ctx.as_ref(),
-            );
-            // Span boundaries reuse the busy-accounting clock reads:
-            // tail capture costs this closure zero extra `now` calls.
-            let t_end = Instant::now();
-            if let Some(t) = trace_ref {
-                let s0 = t.offset_of(t_busy);
-                let end = t.offset_of(t_end);
-                let sh = Some(shard.0);
-                let prune = part.block_prune_ns;
-                t.record_span_batch(&[
-                    ("block_prune", 0, sh, end.saturating_sub(prune), prune),
-                    ("execute", 0, sh, s0, end.saturating_sub(s0)),
-                ]);
-            }
-            slot.busy_micros.fetch_add(
-                t_end.duration_since(t_busy).as_micros() as u64,
-                Ordering::Relaxed,
-            );
-            part
-        });
-        let _span = trace_ref.map(|t| t.span("gather", 0));
-        let mut merged = AggPartials::default();
-        for p in partials {
-            merged.merge(p);
-        }
-        merged.finish(&query.aggregates, query.group_by.is_some())
-    } else {
-        // The scalar fallback strips the aggregate clauses off the query
-        // and materializes every matching row — ORDER BY/LIMIT don't
-        // apply below an aggregate, so shards return their full match
-        // sets and one reference aggregation runs over the gather.
-        let row_query = Query {
-            aggregates: Vec::new(),
-            group_by: None,
-            projection: Vec::new(),
-            order_by: None,
-            limit: None,
-            ..query.clone()
+    // Same migration fence + retry as `run_query`.
+    let (result, plan, fp, pushdown, fanout) = loop {
+        rp.migrations.wait_read_stable();
+        let mv0 = rp.migrations.version();
+        let t_route = trace.as_ref().map(QueryTrace::now_ns);
+        let span = match extract_tenant(&query.filter) {
+            Some(tenant) => rp.router.span(tenant, rp.clock.now()),
+            None => ShardSpan::new(0, rp.n_shards, rp.n_shards),
         };
-        let row_query = &row_query;
-        let shard_rows: Vec<QueryRows> = rp.executor.map(&span_shards, |_, shard| {
-            let slot = &rp.shards[shard.index()];
-            let t_busy = Instant::now();
-            let snap = slot.snapshots.pin();
-            let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
-                cache,
-                shard: shard.0,
-            });
-            let rows =
-                execute_prepared_on_snapshot(row_query, prepared, snap.as_ref(), ctx.as_ref());
-            let t_end = Instant::now();
-            if let Some(t) = trace_ref {
-                let s0 = t.offset_of(t_busy);
-                let end = t.offset_of(t_end);
-                t.record_span("execute", 0, Some(shard.0), s0, end.saturating_sub(s0));
-            }
-            slot.busy_micros.fetch_add(
-                t_end.duration_since(t_busy).as_micros() as u64,
-                Ordering::Relaxed,
-            );
-            rows
-        });
-        let _span = trace_ref.map(|t| t.span("gather", 0));
-        let mut docs = Vec::new();
-        let mut out = AggResult::default();
-        for rows in shard_rows {
-            out.postings_scanned += rows.postings_scanned;
-            out.docs_scanned += rows.docs_scanned;
-            docs.extend(rows.docs);
+        let t_plan = trace.as_ref().map(QueryTrace::now_ns);
+        let plan = if opts.use_optimizer {
+            optimize(&query.filter, rp.schema)
+        } else {
+            naive_plan(&query.filter)
+        };
+        if let (Some(t), Some(r0), Some(p0)) = (trace.as_ref(), t_route, t_plan) {
+            let end = t.now_ns();
+            t.record_span_batch(&[
+                ("route", 0, None, r0, p0.saturating_sub(r0)),
+                ("plan", 0, None, p0, end.saturating_sub(p0)),
+            ]);
         }
-        out.payload_reads = docs.len() as u64;
-        out.rows = aggregate_rows(&docs, &query.aggregates, query.group_by.as_deref());
-        out
+        let prepared = PreparedPlan::new(&plan);
+        let fp = query_fingerprint(&plan, &query);
+        let pushdown = opts.block_execution
+            && block_eligible(&plan)
+            && aggregate_pushdown_eligible(&query, rp.schema);
+        let span_shards: Vec<ShardId> = span.iter().collect();
+        let prepared = &prepared;
+        let trace_ref = trace.as_ref();
+        let result = if pushdown {
+            let query_ref = &query;
+            let partials: Vec<AggPartials> = rp.executor.map(&span_shards, |_, shard| {
+                let slot = &rp.shards[shard.index()];
+                let t_busy = Instant::now();
+                let snap = slot.snapshots.pin();
+                let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
+                    cache,
+                    shard: shard.0,
+                });
+                let part = aggregate_prepared_blocks_on_snapshot(
+                    query_ref,
+                    prepared,
+                    snap.as_ref(),
+                    ctx.as_ref(),
+                );
+                // Span boundaries reuse the busy-accounting clock reads:
+                // tail capture costs this closure zero extra `now` calls.
+                let t_end = Instant::now();
+                if let Some(t) = trace_ref {
+                    let s0 = t.offset_of(t_busy);
+                    let end = t.offset_of(t_end);
+                    let sh = Some(shard.0);
+                    let prune = part.block_prune_ns;
+                    t.record_span_batch(&[
+                        ("block_prune", 0, sh, end.saturating_sub(prune), prune),
+                        ("execute", 0, sh, s0, end.saturating_sub(s0)),
+                    ]);
+                }
+                slot.busy_micros.fetch_add(
+                    t_end.duration_since(t_busy).as_micros() as u64,
+                    Ordering::Relaxed,
+                );
+                part
+            });
+            let _span = trace_ref.map(|t| t.span("gather", 0));
+            let mut merged = AggPartials::default();
+            for p in partials {
+                merged.merge(p);
+            }
+            merged.finish(&query.aggregates, query.group_by.is_some())
+        } else {
+            // The scalar fallback strips the aggregate clauses off the query
+            // and materializes every matching row — ORDER BY/LIMIT don't
+            // apply below an aggregate, so shards return their full match
+            // sets and one reference aggregation runs over the gather.
+            let row_query = Query {
+                aggregates: Vec::new(),
+                group_by: None,
+                projection: Vec::new(),
+                order_by: None,
+                limit: None,
+                ..query.clone()
+            };
+            let row_query = &row_query;
+            let shard_rows: Vec<QueryRows> = rp.executor.map(&span_shards, |_, shard| {
+                let slot = &rp.shards[shard.index()];
+                let t_busy = Instant::now();
+                let snap = slot.snapshots.pin();
+                let ctx = rp.filter_cache.map(|cache| FilterCacheContext {
+                    cache,
+                    shard: shard.0,
+                });
+                let rows =
+                    execute_prepared_on_snapshot(row_query, prepared, snap.as_ref(), ctx.as_ref());
+                let t_end = Instant::now();
+                if let Some(t) = trace_ref {
+                    let s0 = t.offset_of(t_busy);
+                    let end = t.offset_of(t_end);
+                    t.record_span("execute", 0, Some(shard.0), s0, end.saturating_sub(s0));
+                }
+                slot.busy_micros.fetch_add(
+                    t_end.duration_since(t_busy).as_micros() as u64,
+                    Ordering::Relaxed,
+                );
+                rows
+            });
+            let _span = trace_ref.map(|t| t.span("gather", 0));
+            let mut docs = Vec::new();
+            let mut out = AggResult::default();
+            for rows in shard_rows {
+                out.postings_scanned += rows.postings_scanned;
+                out.docs_scanned += rows.docs_scanned;
+                docs.extend(rows.docs);
+            }
+            out.payload_reads = docs.len() as u64;
+            out.rows = aggregate_rows(&docs, &query.aggregates, query.group_by.as_deref());
+            out
+        };
+        if rp.migrations.version() == mv0 {
+            break (result, plan, fp, pushdown, span_shards.len() as u32);
+        }
     };
     rp.count_exec_path(pushdown, &result.blocks);
     let total_ns = t0.map(elapsed_ns);
@@ -1968,7 +2668,7 @@ fn run_agg_query(rp: &ReadPath<'_>, sql: &str, opts: QueryOptions) -> Result<Agg
                 plan: plan.to_string(),
                 fingerprint: fp,
                 tenant: extract_tenant(&query.filter).map(|t| t.0),
-                fanout: span_shards.len() as u32,
+                fanout,
                 total_ns: ns,
                 stages: samples.unwrap_or_default(),
             });
@@ -1992,6 +2692,7 @@ pub struct EsdbReader {
     schema: CollectionSchema,
     n_shards: u32,
     shards: Vec<Arc<ShardSlot>>,
+    migrations: Arc<MigrationTable>,
     filter_cache: Option<Arc<SegmentFilterCache>>,
     request_cache: Option<Arc<ShardedCache<RequestCacheKey, Arc<QueryRows>>>>,
     executor: Executor,
@@ -2034,12 +2735,19 @@ impl EsdbReader {
         record: RecordId,
         created_at: TimestampMs,
     ) -> Option<Document> {
-        let shard = self.router.route(tenant, record, created_at);
-        self.shards[shard.index()]
-            .snapshots
-            .pin()
-            .get_record(record.raw())
-            .cloned()
+        loop {
+            self.migrations.wait_read_stable();
+            let v = self.migrations.version();
+            let shard = self.router.route(tenant, record, created_at);
+            let doc = self.shards[shard.index()]
+                .snapshots
+                .pin()
+                .get_record(record.raw())
+                .cloned();
+            if self.migrations.version() == v {
+                return doc;
+            }
+        }
     }
 
     /// Pins the current published snapshot of one shard (see
@@ -2058,6 +2766,7 @@ impl EsdbReader {
             schema: &self.schema,
             n_shards: self.n_shards,
             shards: &self.shards,
+            migrations: self.migrations.as_ref(),
             filter_cache: self.filter_cache.as_deref(),
             request_cache: self.request_cache.as_deref(),
             executor: &self.executor,
@@ -2934,5 +3643,291 @@ mod tests {
             .unwrap()
             .2;
         assert_eq!(ratio, 66, "2 of 3 queries on the block path");
+    }
+
+    /// Every copy of every row the hot tenant wrote before `upto`, as
+    /// `(record, shards holding it)` — the physical-placement oracle the
+    /// migration tests assert collapse with.
+    fn physical_copies(db: &Esdb, tenant: u64, records: u64) -> Vec<(u64, Vec<u32>)> {
+        let n = db.stats().shard_busy_micros.len() as u32;
+        (0..records)
+            .map(|r| {
+                let holders: Vec<u32> = (0..n)
+                    .filter(|s| {
+                        db.pin_snapshot(ShardId(*s))
+                            .get_record(r)
+                            .map_or(false, |d| d.tenant_id == TenantId(tenant))
+                    })
+                    .collect();
+                (r, holders)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn live_migration_moves_rows_and_collapses_old_span() {
+        let (mut db, _driver) = open("migrate-live", |c| c.shards(16));
+        // Distinct creation times: ORDER BY has no ties, so row-identity
+        // comparisons are insensitive to which shard each row lives on.
+        for r in 0..3_000u64 {
+            let tenant = if r % 10 < 9 { 777 } else { 1_000 + r };
+            db.insert(doc(tenant, r, 900_000 + r)).unwrap();
+        }
+        db.refresh();
+        let before = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 777 ORDER BY created_time ASC")
+            .unwrap();
+        // Commit the rule; the same pass starts the migration and ships
+        // the segments (commit-wait is 0 on the manual clock).
+        db.rebalance();
+        let rule = db.rules_snapshot().last().cloned().expect("rule committed");
+        assert!(rule.offset > 1);
+        assert_eq!(db.drive_migrations(), 1, "one migration to completion");
+        let status = db.migrations_snapshot().pop().unwrap();
+        assert_eq!(status.phase, MigrationPhase::Done);
+        assert_eq!(status.new_span, rule.offset);
+        assert!(status.rows_moved > 0, "hot tenant rows physically moved");
+        // Old span fully collapsed: every row lives at exactly its
+        // new-span placement, nowhere else.
+        for (r, holders) in physical_copies(&db, 777, 3_000) {
+            if r % 10 >= 9 {
+                continue; // other tenants' records
+            }
+            let dest = place(TenantId(777), RecordId(r), rule.offset, 16).0;
+            assert_eq!(holders, vec![dest], "record {r} collapsed to {dest}");
+        }
+        // Row-identity across the cutover.
+        let after = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 777 ORDER BY created_time ASC")
+            .unwrap();
+        assert_eq!(before.docs, after.docs, "cutover must not change results");
+        // Point reads follow the migrated routing to the new placement.
+        assert!(db.get(TenantId(777), RecordId(0), 900_000).is_some());
+        // The journal carries the full parent-linked lifecycle chain.
+        let events = db.telemetry().journal().tail(usize::MAX);
+        let seq_of = |name: &str| events.iter().find(|e| e.kind.name() == name).map(|e| e.seq);
+        let parent_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.kind.name() == name)
+                .map(|e| e.parent_seq)
+        };
+        for (child, parent) in [
+            ("migration_started", "rule_appended"),
+            ("migration_segments_shipped", "migration_started"),
+            ("migration_tail_drained", "migration_segments_shipped"),
+            ("migration_cutover", "migration_tail_drained"),
+            ("migration_completed", "migration_cutover"),
+        ] {
+            assert_eq!(
+                parent_of(child).expect(child),
+                seq_of(parent).expect(parent),
+                "{child} must parent-link to {parent}"
+            );
+        }
+        // Metrics surfaced and exposition stays lint-clean.
+        let snap = db.telemetry_snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map(|(_, _, v)| *v)
+        };
+        assert_eq!(counter("esdb_migration_completed_total"), Some(1));
+        assert!(counter("esdb_migration_rows_moved_total").unwrap_or(0) > 0);
+        let errors = esdb_telemetry::lint_prometheus(&snap.to_prometheus());
+        assert!(errors.is_empty(), "prometheus lint errors: {errors:?}");
+        // The debug bundle renders the terminal migration state.
+        let bundle = db.debug_bundle().to_json();
+        assert!(bundle.contains("\"phase\": \"done\""), "bundle: {bundle}");
+    }
+
+    #[test]
+    fn migration_tail_rides_through_cutover() {
+        let (mut db, driver) = open("migrate-tail", |c| c.shards(16));
+        for r in 0..2_500u64 {
+            let tenant = if r % 10 < 9 { 777 } else { 1_000 + r };
+            db.insert(doc(tenant, r, driver.now() - 1)).unwrap();
+        }
+        db.rebalance(); // rule committed, handoff shipped, now Draining
+        let rule = db.rules_snapshot().last().cloned().unwrap();
+        // Pre-rule writes racing the drain: created before the rule's
+        // effective time, landed after the export — the captured tail.
+        for r in 5_000..5_040u64 {
+            db.insert(doc(777, r, rule.effective_time - 1)).unwrap();
+        }
+        driver.advance(10);
+        assert_eq!(db.drive_migrations(), 1);
+        let status = db.migrations_snapshot().pop().unwrap();
+        assert_eq!(status.phase, MigrationPhase::Done);
+        assert!(status.tail_ops >= 40, "tail captured: {}", status.tail_ops);
+        db.refresh();
+        // Tail rows are exactly-once at their new placement.
+        for r in 5_000..5_040u64 {
+            let dest = place(TenantId(777), RecordId(r), rule.offset, 16).0;
+            let holders: Vec<u32> = (0..16u32)
+                .filter(|s| db.pin_snapshot(ShardId(*s)).get_record(r).is_some())
+                .collect();
+            assert_eq!(holders, vec![dest], "tail record {r}");
+        }
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 777")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 2_250 + 40, "no loss, no duplication");
+    }
+
+    #[test]
+    fn migration_abort_leaves_reads_intact_and_rearms_balancer() {
+        let (mut db, driver) = open("migrate-abort", |c| c.shards(16));
+        for r in 0..2_500u64 {
+            let tenant = if r % 10 < 9 { 777 } else { 1_000 + r };
+            db.insert(doc(tenant, r, driver.now() - 1)).unwrap();
+        }
+        db.refresh();
+        let before = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 777 ORDER BY created_time ASC")
+            .unwrap();
+        db.rebalance();
+        driver.advance(10);
+        assert!(db.migrations_snapshot().iter().any(|s| s.phase.is_active()));
+        assert_eq!(db.abort_migrations(), 1);
+        let status = db.migrations_snapshot().pop().unwrap();
+        assert_eq!(status.phase, MigrationPhase::Aborted);
+        // The rule stays committed (spans never shrink) and every row is
+        // still readable at its old placement.
+        assert!(db.read_span(TenantId(777)).len > 1);
+        let after = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 777 ORDER BY created_time ASC")
+            .unwrap();
+        assert_eq!(before.docs, after.docs, "abort must not lose rows");
+        let events = db.telemetry().journal().tail(usize::MAX);
+        assert!(events.iter().any(|e| e.kind.name() == "migration_aborted"));
+    }
+
+    #[test]
+    fn migration_tail_overflow_aborts_instead_of_cutover() {
+        let (mut db, driver) = open("migrate-overflow", |c| {
+            c.shards(16).migration_tail_max_ops(0)
+        });
+        for r in 0..2_500u64 {
+            let tenant = if r % 10 < 9 { 777 } else { 1_000 + r };
+            db.insert(doc(tenant, r, driver.now() - 1)).unwrap();
+        }
+        db.rebalance(); // Draining, capturing
+        let rule = db.rules_snapshot().last().cloned().unwrap();
+        // One pre-rule write overflows the zero-length tail bound.
+        db.insert(doc(777, 9_999, rule.effective_time - 1)).unwrap();
+        driver.advance(10);
+        assert_eq!(
+            db.drive_migrations(),
+            0,
+            "overflow must abort, not cut over"
+        );
+        let status = db.migrations_snapshot().pop().unwrap();
+        assert_eq!(status.phase, MigrationPhase::Aborted);
+        db.refresh();
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 777")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 2_250 + 1, "acked writes survive the abort");
+    }
+
+    #[test]
+    fn committed_rules_and_migrations_survive_reopen() {
+        let dir = tmpdir("migrate-reopen");
+        let (clock, driver) = SharedClock::manual(1_000_000);
+        let rule;
+        {
+            let mut db = Esdb::open_with_clock(
+                CollectionSchema::transaction_logs(),
+                EsdbConfig::new(&dir).shards(16),
+                clock.clone(),
+            )
+            .unwrap();
+            for r in 0..2_500u64 {
+                let tenant = if r % 10 < 9 { 777 } else { 1_000 + r };
+                db.insert(doc(tenant, r, driver.now() - 1)).unwrap();
+            }
+            db.rebalance();
+            driver.advance(10);
+            assert_eq!(db.drive_migrations(), 1);
+            rule = db.rules_snapshot().last().cloned().unwrap();
+            db.flush().unwrap();
+        }
+        let db = Esdb::open_with_clock(
+            CollectionSchema::transaction_logs(),
+            EsdbConfig::new(&dir).shards(16),
+            clock,
+        )
+        .unwrap();
+        // The replayed rule list has both the rule and its migrated mark:
+        // a point write on an old record routes to the *new* placement.
+        assert_eq!(db.rules_snapshot().last().unwrap().offset, rule.offset);
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 777")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 2_250, "all rows visible after reopen");
+        for (r, holders) in physical_copies(&db, 777, 2_500) {
+            if r % 10 >= 9 {
+                continue;
+            }
+            let dest = place(TenantId(777), RecordId(r), rule.offset, 16).0;
+            assert_eq!(holders, vec![dest], "record {r} stays collapsed");
+        }
+    }
+
+    #[test]
+    fn interrupted_cutover_completes_at_open() {
+        let dir = tmpdir("migrate-recover");
+        let (clock, driver) = SharedClock::manual(1_000_000);
+        let rule;
+        {
+            let mut db = Esdb::open_with_clock(
+                CollectionSchema::transaction_logs(),
+                EsdbConfig::new(&dir).shards(16),
+                clock.clone(),
+            )
+            .unwrap();
+            for r in 0..2_500u64 {
+                let tenant = if r % 10 < 9 { 777 } else { 1_000 + r };
+                db.insert(doc(tenant, r, driver.now() - 1)).unwrap();
+            }
+            // Commit the rule but kill the migration before its cutover:
+            // rows stay at their old placement, the rule is durable.
+            db.rebalance();
+            rule = db.rules_snapshot().last().cloned().unwrap();
+            db.abort_migrations();
+            db.flush().unwrap();
+        }
+        // Simulate a crash *after* the durable cutover intent was logged
+        // but before any row moved: the completion is owed at open.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(dir.join("rules.log"))
+                .unwrap();
+            writeln!(f, "cutover {} {} {}", 777, rule.offset, rule.effective_time).unwrap();
+        }
+        driver.advance(10);
+        let db = Esdb::open_with_clock(
+            CollectionSchema::transaction_logs(),
+            EsdbConfig::new(&dir).shards(16),
+            clock,
+        )
+        .unwrap();
+        // Recovery ran the idempotent completion scan: the old span is
+        // collapsed and every acked row survived, exactly once.
+        let rows = db
+            .query("SELECT * FROM transaction_logs WHERE tenant_id = 777")
+            .unwrap();
+        assert_eq!(rows.docs.len(), 2_250, "no rows lost in recovery");
+        for (r, holders) in physical_copies(&db, 777, 2_500) {
+            if r % 10 >= 9 {
+                continue;
+            }
+            let dest = place(TenantId(777), RecordId(r), rule.offset, 16).0;
+            assert_eq!(holders, vec![dest], "record {r} recovered to {dest}");
+        }
     }
 }

@@ -34,9 +34,13 @@
 
 mod batcher;
 mod db;
+mod migrate;
 
 pub use batcher::WriteBatcher;
 pub use db::{BatchApplied, Esdb, EsdbConfig, EsdbReader, EsdbStats, EsdbWriter, RoutingMode};
+pub use migrate::{
+    statuses_to_json as migration_statuses_to_json, MigrationPhase, MigrationStatus,
+};
 
 // The layered crates, re-exported so applications can depend on
 // `esdb-core` alone.

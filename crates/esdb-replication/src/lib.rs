@@ -22,9 +22,11 @@
 
 pub mod diff;
 pub mod pair;
+pub mod ship;
 
 pub use diff::{segment_diff, SegmentDiff, SnapshotInfo};
 pub use pair::{ReplicatedPair, ReplicationMetrics, ReplicationMode};
+pub use ship::{build_handoff, ExportedRows, HandoffPlan, Shipment};
 
 // Re-exported so callers of the pair don't need a direct esdb-storage dep.
 pub use esdb_storage::ShardEngine;

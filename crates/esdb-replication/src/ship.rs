@@ -1,0 +1,206 @@
+//! Migration segment shipping: physical hand-off of one tenant's rows.
+//!
+//! When a dynamic-hashing rule widens a hot tenant's shard span, rows
+//! written *before* the rule still sit at their historical placement.
+//! ESDB's answer (paper §5.2 idiom, reused here for migration instead of
+//! replication) is to ship **fully built segments**, not logical writes:
+//! the destination adopts an already-indexed artifact and pays zero
+//! indexing CPU. This module is the pure build step of that hand-off —
+//! given pinned source snapshots it computes, per destination shard, one
+//! synthetic segment holding exactly the rows whose placement changes
+//! under the new span, plus the per-source row lists the coordinator must
+//! tombstone at cutover.
+//!
+//! The function is deliberately side-effect free (no engine access, no
+//! clocks): the coordinator pins snapshots, calls [`build_handoff`], and
+//! decides separately when the results become visible. That keeps the
+//! expensive export/index work outside every engine lock and makes the
+//! hand-off trivially abortable — dropping the plan undoes it.
+
+use esdb_common::fastmap::{fast_map, fast_set, FastMap, FastSet};
+use esdb_common::{TenantId, TimestampMs};
+use esdb_doc::{CollectionSchema, Document};
+use esdb_index::builder::build_segment;
+use esdb_index::{Analyzer, Segment};
+use esdb_storage::ShardSnapshot;
+use std::sync::Arc;
+
+/// One destination shard's payload: a fully built segment ready for
+/// `ShardEngine::adopt_segment`, plus accounting for the journal.
+pub struct Shipment {
+    /// Destination shard index.
+    pub dest: u32,
+    /// Synthetic segment holding every migrating row bound for `dest`.
+    /// Built with id 0; the adopting engine re-identifies it.
+    pub segment: Segment,
+    /// Rows in the segment.
+    pub rows: u64,
+    /// Approximate payload bytes (document heap size).
+    pub bytes: u64,
+}
+
+/// Rows exported off one source shard, identified by their routing
+/// triple so the coordinator can issue tombstoning deletes at cutover.
+pub struct ExportedRows {
+    /// Source shard index the rows were read from.
+    pub source: u32,
+    /// `(record_id, created_at)` of every row that left this shard.
+    pub rows: Vec<(u64, TimestampMs)>,
+}
+
+/// The full hand-off computed from a set of pinned source snapshots.
+pub struct HandoffPlan {
+    /// One shipment per destination shard that gains rows (sorted by dest).
+    pub shipments: Vec<Shipment>,
+    /// Per-source row lists to tombstone once destinations are durable.
+    pub exported: Vec<ExportedRows>,
+    /// Total rows changing placement.
+    pub rows_total: u64,
+    /// Total approximate bytes shipped.
+    pub bytes_total: u64,
+}
+
+/// Builds the hand-off for `tenant` under a new placement function.
+///
+/// `sources` are `(shard_index, pinned snapshot)` pairs covering the
+/// tenant's *old* span. A row migrates iff it belongs to `tenant`, was
+/// created at or before `cutoff` (rows after the rule timestamp already
+/// route by the new span and never need to move), and `placement`
+/// assigns it a shard different from the one it currently lives on.
+/// Rows are deduplicated by record id with first-seen-wins, mirroring
+/// snapshot lookup order, so a row can never ship twice.
+pub fn build_handoff(
+    sources: &[(u32, Arc<ShardSnapshot>)],
+    schema: &CollectionSchema,
+    indexed_attrs: &FastSet<String>,
+    tenant: TenantId,
+    cutoff: TimestampMs,
+    placement: &dyn Fn(&Document) -> u32,
+) -> HandoffPlan {
+    let analyzer = Analyzer::default();
+    let mut by_dest: FastMap<u32, Vec<Document>> = fast_map();
+    let mut exported: Vec<ExportedRows> = Vec::new();
+    let mut seen: FastSet<u64> = fast_set();
+    let mut rows_total = 0u64;
+    let mut bytes_total = 0u64;
+
+    for (source, snap) in sources {
+        let mut moved: Vec<(u64, TimestampMs)> = Vec::new();
+        for seg in snap.segments() {
+            for (_, doc) in seg.live_docs() {
+                if doc.tenant_id != tenant || doc.created_at > cutoff {
+                    continue;
+                }
+                let rid = doc.record_id.raw();
+                if !seen.insert(rid) {
+                    continue;
+                }
+                let dest = placement(doc);
+                if dest == *source {
+                    continue;
+                }
+                rows_total += 1;
+                bytes_total += doc.approx_size() as u64;
+                moved.push((rid, doc.created_at));
+                by_dest.entry(dest).or_default().push(doc.clone());
+            }
+        }
+        if !moved.is_empty() {
+            exported.push(ExportedRows {
+                source: *source,
+                rows: moved,
+            });
+        }
+    }
+
+    let mut shipments: Vec<Shipment> = by_dest
+        .into_iter()
+        .map(|(dest, docs)| {
+            let rows = docs.len() as u64;
+            let bytes: u64 = docs.iter().map(|d| d.approx_size() as u64).sum();
+            let segment = build_segment(0, docs, schema, &analyzer, indexed_attrs, 1 << 20);
+            Shipment {
+                dest,
+                segment,
+                rows,
+                bytes,
+            }
+        })
+        .collect();
+    shipments.sort_by_key(|s| s.dest);
+
+    HandoffPlan {
+        shipments,
+        exported,
+        rows_total,
+        bytes_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use esdb_common::RecordId;
+    use esdb_storage::{ShardConfig, ShardEngine};
+
+    fn doc(tenant: u64, record: u64, at: TimestampMs) -> Document {
+        Document::builder(TenantId(tenant), RecordId(record), at)
+            .field("auction_title", format!("r{record}"))
+            .build()
+    }
+
+    fn snapshot_of(name: &str, docs: Vec<Document>) -> Arc<ShardSnapshot> {
+        let dir = std::env::temp_dir().join(format!("esdb-ship-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut eng =
+            ShardEngine::open(CollectionSchema::transaction_logs(), ShardConfig::new(dir)).unwrap();
+        for d in docs {
+            eng.apply(&esdb_doc::WriteOp::insert(d)).unwrap();
+        }
+        eng.refresh();
+        eng.pin_snapshot()
+    }
+
+    #[test]
+    fn handoff_filters_by_tenant_cutoff_and_placement() {
+        let hot = TenantId(7);
+        let snap = snapshot_of(
+            "filter",
+            vec![
+                doc(7, 1, 100), // moves → dest 3
+                doc(7, 2, 100), // stays (placement == source)
+                doc(7, 3, 999), // after cutoff: never ships
+                doc(8, 4, 100), // other tenant: never ships
+            ],
+        );
+        let schema = CollectionSchema::transaction_logs();
+        let plan = build_handoff(&[(0, snap)], &schema, &fast_set(), hot, 500, &|d| {
+            if d.record_id.raw() == 1 {
+                3
+            } else {
+                0
+            }
+        });
+        assert_eq!(plan.rows_total, 1);
+        assert_eq!(plan.shipments.len(), 1);
+        assert_eq!(plan.shipments[0].dest, 3);
+        assert_eq!(plan.shipments[0].rows, 1);
+        assert_eq!(plan.shipments[0].segment.live_count(), 1);
+        assert_eq!(plan.exported.len(), 1);
+        assert_eq!(plan.exported[0].source, 0);
+        assert_eq!(plan.exported[0].rows, vec![(1, 100)]);
+        assert!(plan.bytes_total > 0);
+    }
+
+    #[test]
+    fn handoff_dedups_rows_across_sources() {
+        let hot = TenantId(7);
+        let a = snapshot_of("dedup-a", vec![doc(7, 1, 100)]);
+        let b = snapshot_of("dedup-b", vec![doc(7, 1, 100)]);
+        let schema = CollectionSchema::transaction_logs();
+        let plan = build_handoff(&[(0, a), (1, b)], &schema, &fast_set(), hot, 500, &|_| 3);
+        assert_eq!(plan.rows_total, 1);
+        assert_eq!(plan.exported.len(), 1);
+        assert_eq!(plan.exported[0].source, 0);
+    }
+}

@@ -22,6 +22,8 @@ pub mod policy;
 pub mod rules;
 pub mod span;
 
-pub use policy::{DoubleHashRouting, DynamicRouting, HashRouting, PolicyKind, RoutingPolicy};
+pub use policy::{
+    base_shard, place, DoubleHashRouting, DynamicRouting, HashRouting, PolicyKind, RoutingPolicy,
+};
 pub use rules::{RuleList, SecondaryHashingRule};
 pub use span::ShardSpan;

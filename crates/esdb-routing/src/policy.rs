@@ -192,6 +192,30 @@ impl DynamicRouting {
     pub fn offset_for_write(&self, k1: TenantId, tc: TimestampMs) -> u32 {
         self.rules.read().offset_for_write(k1, tc)
     }
+
+    /// The rule-list mutation counter (see [`RuleList::version`]).
+    pub fn rules_version(&self) -> u64 {
+        self.rules.read().version()
+    }
+
+    /// Rule-version-aware span resolution: the tenant's read span plus
+    /// the rule-list version it was computed under, read atomically under
+    /// one lock hold. A query that observes a different version after its
+    /// fan-out gathered knows it straddled a rule commit or a migration
+    /// cutover and can re-resolve.
+    ///
+    /// The span itself is already the union of every historical placement
+    /// (`offset_for_read` takes the max `s`, and same-base spans nest),
+    /// so "old ∪ new" needs no second span — the version is what tells
+    /// the caller the boundary moved under it.
+    pub fn read_span_versioned(&self, k1: TenantId, now: TimestampMs) -> (ShardSpan, u64) {
+        let rules = self.rules.read();
+        let s = rules.offset_for_read(k1, now);
+        (
+            ShardSpan::new(base_shard(k1, self.n), s.min(self.n), self.n),
+            rules.version(),
+        )
+    }
 }
 
 impl RoutingPolicy for DynamicRouting {

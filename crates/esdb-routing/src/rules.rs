@@ -56,6 +56,16 @@ pub struct RuleList {
     /// Per-tenant `(effective_time, offset)` pairs, kept sorted by
     /// effective time.
     by_tenant: FastMap<TenantId, Vec<(TimestampMs, u32)>>,
+    /// Largest offset per tenant whose historical data has been
+    /// physically migrated to the widened span. Write matching for a
+    /// migrated tenant ignores the `t < tc` condition up to this offset:
+    /// pre-rule records now *live* at their new-span placement, so point
+    /// ops on them must route there.
+    migrated: FastMap<TenantId, u32>,
+    /// Bumped on every mutation (rule append or migration marking).
+    /// Routing consumers snapshot this to detect a rule-boundary change
+    /// between two reads of the list.
+    version: u64,
 }
 
 impl RuleList {
@@ -64,6 +74,8 @@ impl RuleList {
         RuleList {
             rules: Vec::new(),
             by_tenant: fast_map(),
+            migrated: fast_map(),
+            version: 0,
         }
     }
 
@@ -107,6 +119,36 @@ impl RuleList {
         let entry = self.by_tenant.entry(k).or_default();
         let pos = entry.partition_point(|&(et, _)| et <= t);
         entry.insert(pos, (t, s));
+        self.version += 1;
+    }
+
+    /// Marks a tenant's data as physically migrated up to `offset`: every
+    /// record the tenant wrote *before* the rule with that offset became
+    /// effective now lives at its new-span placement, so write matching
+    /// stops honoring the `t < tc` cutoff below `offset`. Monotone (only
+    /// ever grows) and idempotent. Returns whether the marking changed.
+    pub fn mark_migrated(&mut self, k1: TenantId, offset: u32) -> bool {
+        let cur = self.migrated.get(&k1).copied().unwrap_or(1);
+        if offset <= cur {
+            return false;
+        }
+        self.migrated.insert(k1, offset);
+        self.version += 1;
+        true
+    }
+
+    /// The largest offset the tenant's historical data has been migrated
+    /// to (`1` = nothing migrated; records live where their creation-time
+    /// rule matching put them).
+    pub fn migrated_offset(&self, k1: TenantId) -> u32 {
+        self.migrated.get(&k1).copied().unwrap_or(1)
+    }
+
+    /// Mutation counter: changes iff a rule was appended or a migration
+    /// was marked complete since the last observation. Lets the query
+    /// path detect that its span resolution straddled a rule boundary.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Inserts a whole committed rule (used when applying a consensus
@@ -119,8 +161,14 @@ impl RuleList {
 
     /// Write matching (§4.2): largest `s` among rules with `t < tc` that
     /// contain `k1`; `1` when no rule matches (cold tenant ⇒ plain hashing).
+    ///
+    /// A completed migration overrides the time cutoff: once
+    /// [`RuleList::mark_migrated`] records offset `m` for the tenant, the
+    /// result is at least `m` regardless of `tc`, because the tenant's
+    /// pre-rule records were physically moved to their `m`-span placement.
     pub fn offset_for_write(&self, k1: TenantId, tc: TimestampMs) -> u32 {
-        self.by_tenant
+        let time_matched = self
+            .by_tenant
             .get(&k1)
             .map(|entries| {
                 entries
@@ -130,7 +178,8 @@ impl RuleList {
                     .max()
                     .unwrap_or(1)
             })
-            .unwrap_or(1)
+            .unwrap_or(1);
+        time_matched.max(self.migrated_offset(k1))
     }
 
     /// Read matching: largest `s` among rules effective at or before `now`
@@ -253,7 +302,66 @@ mod tests {
         assert_eq!(r.max_effective_time(), Some(50));
     }
 
+    #[test]
+    fn migration_marking_reroutes_old_records() {
+        let mut r = RuleList::new();
+        r.update(100, 8, TenantId(1));
+        // Pre-rule record: old placement while data has not moved.
+        assert_eq!(r.offset_for_write(TenantId(1), 50), 1);
+        assert!(r.mark_migrated(TenantId(1), 8));
+        // After the migration completes, the same routing triple resolves
+        // to the widened span — the record physically lives there now.
+        assert_eq!(r.offset_for_write(TenantId(1), 50), 8);
+        assert_eq!(r.migrated_offset(TenantId(1)), 8);
+        // Reads were already covering the span; still are.
+        assert_eq!(r.offset_for_read(TenantId(1), 100), 8);
+        // Other tenants unaffected.
+        assert_eq!(r.offset_for_write(TenantId(2), 50), 1);
+    }
+
+    #[test]
+    fn migration_marking_is_monotone_and_versioned() {
+        let mut r = RuleList::new();
+        let v0 = r.version();
+        r.update(100, 4, TenantId(1));
+        assert!(r.version() > v0);
+        let v1 = r.version();
+        assert!(r.mark_migrated(TenantId(1), 4));
+        assert!(r.version() > v1);
+        let v2 = r.version();
+        // Idempotent / shrink attempts change nothing.
+        assert!(!r.mark_migrated(TenantId(1), 4));
+        assert!(!r.mark_migrated(TenantId(1), 2));
+        assert_eq!(r.version(), v2);
+        assert_eq!(r.migrated_offset(TenantId(1)), 4);
+    }
+
     proptest! {
+        /// Migration marking never shrinks the write offset and never
+        /// breaks read-your-writes: the read offset still dominates for
+        /// any `(tc, now)` pair, because a marked offset always comes
+        /// from a committed rule the read matching already honors.
+        #[test]
+        fn prop_migration_marking_preserves_read_your_writes(
+            updates in proptest::collection::vec((0u64..1000, 0u32..6), 1..12),
+            mark_idx in 0usize..12,
+            tc in 0u64..1200,
+        ) {
+            let mut r = RuleList::new();
+            for (t, s_exp) in &updates {
+                r.update(*t, 1 << s_exp, TenantId(9));
+            }
+            let before = r.offset_for_write(TenantId(9), tc);
+            // Mark one committed rule's offset as migrated.
+            let (_, s_exp) = updates[mark_idx % updates.len()];
+            r.mark_migrated(TenantId(9), 1 << s_exp);
+            let after = r.offset_for_write(TenantId(9), tc);
+            prop_assert!(after >= before, "marking shrank the write offset");
+            // Reads at any time >= every rule's effective time cover it.
+            let rd = r.offset_for_read(TenantId(9), 2000);
+            prop_assert!(rd >= after, "read offset {rd} < write offset {after}");
+        }
+
         /// Read-your-writes core invariant: for any sequence of rule
         /// updates and any write time, the read offset at any later time is
         /// >= the offset used by the write. Combined with same-base

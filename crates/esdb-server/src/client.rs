@@ -217,6 +217,11 @@ impl EsdbClient {
         self.call("GET", "/admin/rules", "", |t| Ok(t.to_string()))
     }
 
+    /// Fetches the live-migration state JSON (admin token required).
+    pub fn admin_migrations(&mut self) -> Result<String, ClientError> {
+        self.call("GET", "/admin/migrations", "", |t| Ok(t.to_string()))
+    }
+
     /// Fetches the server stats JSON (admin token required).
     pub fn admin_stats(&mut self) -> Result<String, ClientError> {
         self.call("GET", "/admin/stats", "", |t| Ok(t.to_string()))

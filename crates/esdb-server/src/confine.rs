@@ -17,8 +17,8 @@
 
 use crate::wire::WireError;
 use esdb_common::TenantId;
-use esdb_query::{parse_sql, Bound, Expr};
 use esdb_doc::FieldValue;
+use esdb_query::{parse_sql, Bound, Expr};
 
 /// The virtual routing column queries filter tenants by (see
 /// `Document::get`).

@@ -490,10 +490,11 @@ fn handle_query(shared: &Shared, body: &str, identity: Identity, aggregate: bool
         if let Err(e) = crate::confine::ensure_confined(&q.sql, identity.tenant) {
             if e.code == "forbidden" {
                 shared.rejected_auth.fetch_add(1, Ordering::Relaxed);
-                shared
-                    .telemetry
-                    .registry()
-                    .add("esdb_server_rejected_total", Labels::stage("auth"), 1);
+                shared.telemetry.registry().add(
+                    "esdb_server_rejected_total",
+                    Labels::stage("auth"),
+                    1,
+                );
             }
             return Resp::error(e);
         }
@@ -601,6 +602,23 @@ fn handle_admin(shared: &Shared, req: &Request, admin_path: &str) -> Resp {
                     ("rules", Json::Arr(rules)),
                 ])
                 .to_text(),
+            )
+        }
+        ("GET", "/migrations") => {
+            // Live migration lifecycle state, one entry per tenant whose
+            // shard span ever grew under this instance; the raw fragment
+            // is the same deterministic rendering the debug bundle uses.
+            let db = shared.db.lock();
+            let statuses = db.migrations_snapshot();
+            drop(db);
+            let active = statuses.iter().filter(|s| s.phase.is_active()).count();
+            Resp::json(
+                200,
+                format!(
+                    "{{\"active\": {}, \"migrations\": {}}}",
+                    active,
+                    esdb_core::migration_statuses_to_json(&statuses)
+                ),
             )
         }
         ("GET", "/stats") => {

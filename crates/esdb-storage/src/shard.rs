@@ -462,6 +462,37 @@ impl ShardEngine {
         Ok(())
     }
 
+    /// Installs a shipped segment (the migration-handoff adopt path):
+    /// the segment was built elsewhere from another shard's exported
+    /// rows and arrives fully indexed, so adoption costs no re-indexing.
+    /// It is re-identified into this engine's id space, made searchable
+    /// immediately, and left unpersisted — the caller decides when to
+    /// [`ShardEngine::flush`] for durability (the migration coordinator
+    /// flushes destinations before tombstoning sources, so rows always
+    /// have at least one durable home).
+    ///
+    /// Any live local copy of an adopted record is superseded first
+    /// (buffer entry dropped, segment copy tombstoned), making adoption
+    /// idempotent — re-adopting after a crash-recovery re-run converges
+    /// instead of duplicating.
+    pub fn adopt_segment(&mut self, seg: Segment) -> SegmentId {
+        let id = self.next_segment_id;
+        self.next_segment_id += 1;
+        let mut seg = seg;
+        seg.id = id;
+        let rids: Vec<u64> = seg.live_docs().map(|(_, d)| d.record_id.raw()).collect();
+        for rid in rids {
+            if let Some(idx) = self.buffer_by_record.remove(&rid) {
+                self.buffer[idx] = None;
+            }
+            self.tombstone_in_segments(rid);
+        }
+        self.segments.push(Arc::new(seg));
+        self.generation += 1;
+        self.maybe_publish();
+        id
+    }
+
     /// The searchable segments (maintenance and replication walk these;
     /// the query engine executes against a pinned snapshot instead).
     pub fn segments(&self) -> &[Arc<Segment>] {
@@ -766,6 +797,47 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn adopt_segment_installs_shipped_rows() {
+        let mut src = open("adopt-src");
+        for r in 0..6 {
+            src.apply(&WriteOp::insert(doc(r, 1))).unwrap();
+        }
+        src.refresh();
+        // Export the source's rows into a shipped segment (what the
+        // migration coordinator builds from a pinned snapshot).
+        let docs: Vec<Document> = src.segments()[0]
+            .live_docs()
+            .map(|(_, d)| d.clone())
+            .collect();
+        let shipped = esdb_index::builder::build_segment(
+            0,
+            docs,
+            src.schema(),
+            &esdb_index::Analyzer::default(),
+            &fast_set(),
+            1024,
+        );
+
+        let dir = tmpdir("adopt-dst");
+        let mut dst =
+            ShardEngine::open(CollectionSchema::transaction_logs(), ShardConfig::new(&dir))
+                .unwrap();
+        let id = dst.adopt_segment(shipped.clone());
+        assert!(id >= 1, "adopted segment gets a local id");
+        assert_eq!(dst.stats().live_docs, 6);
+        assert!(dst.get_record(3).is_some(), "adopted rows are searchable");
+        // Re-adoption converges instead of duplicating.
+        dst.adopt_segment(shipped);
+        assert_eq!(dst.stats().live_docs, 6, "idempotent re-adoption");
+        // Flush persists the adopted rows; recovery sees them.
+        dst.flush().unwrap();
+        drop(dst);
+        let dst = ShardEngine::open(CollectionSchema::transaction_logs(), ShardConfig::new(&dir))
+            .unwrap();
+        assert_eq!(dst.stats().live_docs, 6, "adopted rows survive recovery");
     }
 
     #[test]

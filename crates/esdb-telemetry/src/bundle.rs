@@ -39,6 +39,9 @@ pub struct DebugBundle {
     pub config: Vec<(String, String)>,
     /// Rule-list state as a raw JSON fragment (`"null"` when absent).
     pub rules: String,
+    /// Live-migration state as a raw JSON fragment (`"null"` when
+    /// absent): tenant, old/new span, phase, progress per migration.
+    pub migrations: String,
     /// Point-in-time metrics snapshot.
     pub metrics: TelemetrySnapshot,
     /// Journal tail, oldest first.
@@ -58,6 +61,7 @@ impl DebugBundle {
         DebugBundle {
             config: Vec::new(),
             rules: "null".to_string(),
+            migrations: "null".to_string(),
             metrics: telemetry.snapshot(),
             journal: telemetry.journal().tail(journal_tail),
             journal_evicted_max: telemetry.journal().evicted_max(),
@@ -81,6 +85,12 @@ impl DebugBundle {
             "null"
         } else {
             &self.rules
+        });
+        out.push_str(",\n  \"migrations\": ");
+        out.push_str(if self.migrations.is_empty() {
+            "null"
+        } else {
+            &self.migrations
         });
         out.push_str(",\n  \"journal\": {\"evicted_max\": ");
         out.push_str(&self.journal_evicted_max.to_string());
@@ -167,11 +177,14 @@ mod tests {
         let mut bundle = DebugBundle::from_telemetry(&t, 64);
         bundle.config.push(("shards".to_string(), "8".to_string()));
         bundle.rules = "[{\"tenant\": 1, \"offset\": 4}]".to_string();
+        bundle.migrations = "[{\"tenant\": 1, \"phase\": \"cutover\"}]".to_string();
         let json = bundle.to_json();
         for section in [
             "\"config\"",
             "\"shards\": 8",
             "\"rules\"",
+            "\"migrations\"",
+            "\"phase\": \"cutover\"",
             "\"journal\"",
             "\"node_crashed\"",
             "\"slow_queries\"",

@@ -66,6 +66,65 @@ pub enum EventKind {
         /// acquisition + rule-list update window.
         commit_wait_ns: u64,
     },
+    /// A rule commit opened a live migration: the hot tenant's existing
+    /// rows will be handed off to the widened span.
+    MigrationStarted {
+        /// Tenant being migrated.
+        tenant: u64,
+        /// Shard span before the rule.
+        old_span: u32,
+        /// Shard span after the rule.
+        new_span: u32,
+        /// Rule activation timestamp (ms): commit time + commit-wait.
+        effective_time: u64,
+    },
+    /// The handoff built and staged shipped segments for the widened span.
+    MigrationSegmentsShipped {
+        /// Tenant being migrated.
+        tenant: u64,
+        /// Destination segments built (one per shard gaining rows).
+        segments: u32,
+        /// Rows changing placement.
+        rows: u64,
+        /// Approximate payload bytes shipped.
+        bytes: u64,
+    },
+    /// The bounded translog tail captured during handoff was drained.
+    MigrationTailDrained {
+        /// Tenant being migrated.
+        tenant: u64,
+        /// Tail ops re-applied at the new placement.
+        ops: u64,
+    },
+    /// Cutover: shipped segments adopted, tail applied, sources
+    /// tombstoned, routing switched to the new placement.
+    MigrationCutover {
+        /// Tenant being migrated.
+        tenant: u64,
+        /// Rows whose placement changed.
+        rows_moved: u64,
+        /// Tail ops applied during cutover.
+        tail_ops: u64,
+        /// Write-barrier + adoption + tombstone window (ns).
+        cutover_ns: u64,
+    },
+    /// The migration finished; the old span fully collapsed.
+    MigrationCompleted {
+        /// Tenant migrated.
+        tenant: u64,
+        /// Span before the migration.
+        old_span: u32,
+        /// Span now serving all of the tenant's rows.
+        new_span: u32,
+    },
+    /// The migration was aborted; staged state was dropped and the
+    /// balancer may re-propose.
+    MigrationAborted {
+        /// Tenant whose migration aborted.
+        tenant: u64,
+        /// Lifecycle phase the abort happened in.
+        phase: &'static str,
+    },
     /// A writer won the CAS and claimed a rebalance epoch.
     RebalanceEpochClaimed {
         /// The claimed epoch number.
@@ -216,6 +275,12 @@ impl EventKind {
         match self {
             EventKind::HotTenantDetected { .. } => "hot_tenant_detected",
             EventKind::RuleAppended { .. } => "rule_appended",
+            EventKind::MigrationStarted { .. } => "migration_started",
+            EventKind::MigrationSegmentsShipped { .. } => "migration_segments_shipped",
+            EventKind::MigrationTailDrained { .. } => "migration_tail_drained",
+            EventKind::MigrationCutover { .. } => "migration_cutover",
+            EventKind::MigrationCompleted { .. } => "migration_completed",
+            EventKind::MigrationAborted { .. } => "migration_aborted",
             EventKind::RebalanceEpochClaimed { .. } => "rebalance_epoch_claimed",
             EventKind::RebalanceEpochCompleted { .. } => "rebalance_epoch_completed",
             EventKind::ChaosFaultInjected { .. } => "chaos_fault_injected",
@@ -258,6 +323,46 @@ impl EventKind {
                 "\"tenant\": {tenant}, \"old_span\": {old_span}, \"new_span\": {new_span}, \
                  \"commit_wait_ns\": {commit_wait_ns}"
             ),
+            EventKind::MigrationStarted {
+                tenant,
+                old_span,
+                new_span,
+                effective_time,
+            } => format!(
+                "\"tenant\": {tenant}, \"old_span\": {old_span}, \"new_span\": {new_span}, \
+                 \"effective_time\": {effective_time}"
+            ),
+            EventKind::MigrationSegmentsShipped {
+                tenant,
+                segments,
+                rows,
+                bytes,
+            } => format!(
+                "\"tenant\": {tenant}, \"segments\": {segments}, \"rows\": {rows}, \
+                 \"bytes\": {bytes}"
+            ),
+            EventKind::MigrationTailDrained { tenant, ops } => {
+                format!("\"tenant\": {tenant}, \"ops\": {ops}")
+            }
+            EventKind::MigrationCutover {
+                tenant,
+                rows_moved,
+                tail_ops,
+                cutover_ns,
+            } => format!(
+                "\"tenant\": {tenant}, \"rows_moved\": {rows_moved}, \"tail_ops\": {tail_ops}, \
+                 \"cutover_ns\": {cutover_ns}"
+            ),
+            EventKind::MigrationCompleted {
+                tenant,
+                old_span,
+                new_span,
+            } => {
+                format!("\"tenant\": {tenant}, \"old_span\": {old_span}, \"new_span\": {new_span}")
+            }
+            EventKind::MigrationAborted { tenant, phase } => {
+                format!("\"tenant\": {tenant}, \"phase\": \"{phase}\"")
+            }
             EventKind::RebalanceEpochClaimed { epoch } => format!("\"epoch\": {epoch}"),
             EventKind::RebalanceEpochCompleted {
                 epoch,

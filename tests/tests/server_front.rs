@@ -330,10 +330,7 @@ fn queries_are_confined_to_the_token_tenant() {
         "SELECT * FROM transaction_logs WHERE tenant_id >= 1",
     ] {
         assert!(
-            matches!(
-                t1.query(sql),
-                Err(ClientError::Server { status: 403, .. })
-            ),
+            matches!(t1.query(sql), Err(ClientError::Server { status: 403, .. })),
             "{sql} should be rejected for a tenant-1 token"
         );
     }
